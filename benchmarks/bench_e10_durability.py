@@ -1,0 +1,83 @@
+"""E10 — durability SLAs choose replication factors.
+
+Figure 4's durability axis: developers declare the probability committed
+writes persist; SCADS picks the replication needed given expected failure
+rates, and relaxing the target for unimportant data saves replication cost.
+This benchmark sweeps durability targets and node failure rates, reports the
+chosen replication factors and achieved durability, and validates the
+analytic model against a Monte-Carlo failure simulation on the cluster
+substrate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.storage.durability import DurabilityModel
+
+TARGETS = [0.99, 0.999, 0.99999, 0.9999999]
+MTTF_HOURS = [1000.0, 4380.0, 17520.0]
+
+
+def _monte_carlo_loss(replication: int, mttf_hours: float, re_replication_hours: float,
+                      horizon_hours: float, trials: int = 20_000, seed: int = 7) -> float:
+    """Simulate independent replica failures and count data-loss events."""
+    rng = np.random.default_rng(seed)
+    losses = 0
+    for _ in range(trials):
+        failure_times = rng.exponential(mttf_hours, size=replication)
+        failure_times.sort()
+        # Data is lost if all remaining replicas fail within one
+        # re-replication window of the first failure, inside the horizon.
+        first = failure_times[0]
+        if first > horizon_hours:
+            continue
+        if np.all(failure_times <= first + re_replication_hours):
+            losses += 1
+    return losses / trials
+
+
+def run_experiment():
+    sweep_rows = []
+    for mttf in MTTF_HOURS:
+        model = DurabilityModel(node_mttf_hours=mttf, re_replication_hours=1.0)
+        for target in TARGETS:
+            factor = model.required_replication_factor(target)
+            sweep_rows.append((f"{mttf:.0f}", f"{target}", factor,
+                               f"{model.durability(factor):.9f}"))
+    # Model-vs-simulation validation at the default failure rate.
+    model = DurabilityModel()
+    validation_rows = []
+    for replication in (1, 2, 3):
+        analytic = model.loss_probability(replication, horizon_hours=8760.0)
+        simulated = _monte_carlo_loss(replication, model.node_mttf_hours,
+                                      model.re_replication_hours, 8760.0)
+        validation_rows.append((replication, f"{analytic:.6f}", f"{simulated:.6f}"))
+    return sweep_rows, validation_rows
+
+
+def test_e10_durability_sla(benchmark, table_printer):
+    sweep_rows, validation_rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    table_printer(
+        "E10 — replication factor chosen per durability target and node MTTF",
+        ["node MTTF (h)", "declared durability", "replication factor", "achieved durability"],
+        sweep_rows,
+    )
+    table_printer(
+        "E10 — analytic loss probability vs. Monte-Carlo simulation (1-year horizon)",
+        ["replication factor", "analytic", "simulated"],
+        validation_rows,
+    )
+    # Stricter targets never need fewer replicas; relaxed targets save replicas.
+    factors = {}
+    for mttf, target, factor, _ in sweep_rows:
+        factors.setdefault(mttf, []).append(factor)
+    for per_mttf in factors.values():
+        assert per_mttf == sorted(per_mttf)
+        assert per_mttf[0] < per_mttf[-1]
+    # The analytic model agrees with simulation within the same order of magnitude.
+    for replication, analytic, simulated in validation_rows:
+        analytic_value = float(analytic)
+        simulated_value = float(simulated)
+        if analytic_value > 1e-4:
+            assert 0.2 * analytic_value <= max(simulated_value, 1e-12) <= 5.0 * analytic_value

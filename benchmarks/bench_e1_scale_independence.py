@@ -1,0 +1,85 @@
+"""E1 — scale independence of queries.
+
+The paper's central claim: with pre-computed indexes and bounded per-user
+fan-out, per-query cost does not grow with the total user population, whereas
+a scan-based store's does.  This benchmark runs the paper's friend-birthday
+query against SCADS and against the naive single-node RDBMS baseline at
+increasing population sizes and reports the per-query latency of each.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.naive_rdbms import NaiveRdbms
+from repro.experiments.harness import build_engine_and_app
+
+POPULATIONS = [150, 600, 2400]
+FRIENDS_PER_USER = 8
+QUERIES_PER_POINT = 25
+
+
+def _scads_latency(n_users: int) -> float:
+    engine, app, graph = build_engine_and_app(
+        seed=17, n_users=n_users, friend_cap=FRIENDS_PER_USER + 2,
+        mean_friends=float(FRIENDS_PER_USER), autoscale=False, initial_groups=2,
+    )
+    engine.start()
+    engine.settle()
+    # Let the bulk-load's load spike decay before measuring steady-state
+    # query latency (the load model is intentionally load-sensitive).
+    for _ in range(10):
+        engine.run_for(10.0)
+        engine.cluster.decay_load()
+    rng = np.random.default_rng(17)
+    users = graph.users()
+    latencies = []
+    for _ in range(QUERIES_PER_POINT):
+        user = users[int(rng.integers(0, len(users)))]
+        latencies.append(app.birthdays_page(user).latency)
+        engine.run_for(1.0)
+    return float(np.mean(latencies))
+
+
+def _naive_latency(n_users: int) -> float:
+    db = NaiveRdbms()
+    rng = np.random.default_rng(17)
+    for i in range(n_users):
+        user = f"u{i}"
+        db.insert("profiles", (user,),
+                  {"user_id": user, "name": user, "birthday": f"{(i % 12) + 1:02d}-15"})
+        for j in range(FRIENDS_PER_USER):
+            other = f"u{(i + j + 1) % n_users}"
+            db.insert("friendships", (user, other), {"f1": user, "f2": other})
+    latencies = []
+    for _ in range(QUERIES_PER_POINT):
+        user = f"u{int(rng.integers(0, n_users))}"
+        latencies.append(db.friend_birthdays(user, limit=10).latency)
+    return float(np.mean(latencies))
+
+
+def run_experiment():
+    rows = []
+    for n_users in POPULATIONS:
+        rows.append((n_users, _scads_latency(n_users), _naive_latency(n_users)))
+    return rows
+
+
+def test_e1_scale_independence(benchmark, table_printer):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    table_printer(
+        "E1 — friend-birthday query latency vs. user population",
+        ["users", "SCADS mean latency (ms)", "naive scan store (ms)"],
+        [(n, f"{scads * 1000:.2f}", f"{naive * 1000:.2f}") for n, scads, naive in rows],
+    )
+    smallest, largest = rows[0], rows[-1]
+    scads_growth = largest[1] / smallest[1]
+    naive_growth = largest[2] / smallest[2]
+    population_growth = largest[0] / smallest[0]
+    print(f"\npopulation grew {population_growth:.0f}x; SCADS latency grew {scads_growth:.2f}x, "
+          f"the scan baseline grew {naive_growth:.2f}x")
+    # Scale independence: SCADS latency stays roughly flat (well under 2x)
+    # while the scan baseline grows substantially with the population.
+    assert scads_growth < 2.0
+    assert naive_growth > 4.0
+    assert naive_growth > 3.0 * scads_growth

@@ -1,0 +1,97 @@
+"""E2 — performance-safe query admission.
+
+Section 3.2: queries are declared ahead of time; SCADS admits only those it
+can execute and maintain with bounded work, and rejects the rest with a
+reason.  This benchmark runs a corpus of templates through the analyzer —
+including the paper's own examples (the birthday join, the Facebook-style
+bounded friend list, the Twitter-style unbounded follower list) — and reports
+the admission decision, the reason, and the computed work bounds.
+"""
+
+from __future__ import annotations
+
+from repro.core.query.analyzer import QueryAnalyzer, QueryRejected
+from repro.core.query.parser import parse_query
+from repro.core.schema import EntitySchema, Field, FieldType, SchemaRegistry
+
+
+def _registry() -> SchemaRegistry:
+    registry = SchemaRegistry()
+    registry.register_entity(EntitySchema(
+        "profiles", key_fields=[Field("user_id")],
+        value_fields=[Field("name"), Field("birthday"), Field("hometown")],
+    ))
+    registry.register_entity(EntitySchema(
+        "friendships", key_fields=[Field("f1"), Field("f2")],
+        max_per_partition=5000, column_bounds={"f2": 5000},
+    ))
+    registry.register_entity(EntitySchema(
+        "statuses", key_fields=[Field("user_id"), Field("status_id", FieldType.INT)],
+        value_fields=[Field("text")], max_per_partition=1000,
+    ))
+    registry.register_entity(EntitySchema(
+        "follows", key_fields=[Field("follower"), Field("followee")],
+        # No cardinality bound: Twitter-style unbounded follow lists.
+    ))
+    return registry
+
+
+CORPUS = [
+    ("friend list (Facebook 5k cap)",
+     "SELECT * FROM friendships WHERE f1 = <u> LIMIT 5000"),
+    ("friend birthdays (paper's example)",
+     "SELECT p.* FROM friendships f JOIN profiles p ON f.f2 = p.user_id "
+     "WHERE f.f1 = <u> ORDER BY p.birthday LIMIT 20"),
+    ("recent statuses",
+     "SELECT * FROM statuses WHERE user_id = <u> ORDER BY status_id DESC LIMIT 20"),
+    ("friends of friends (bounded, LIMIT)",
+     "SELECT p.* FROM friendships f JOIN friendships g ON f.f2 = g.f1 "
+     "JOIN profiles p ON g.f2 = p.user_id WHERE f.f1 = <u> LIMIT 20"),
+    ("statuses since cursor",
+     "SELECT * FROM statuses WHERE user_id = <u> AND status_id > <cursor> LIMIT 20"),
+    ("everyone in a hometown (no bound)",
+     "SELECT * FROM profiles WHERE hometown = <town>"),
+    ("Twitter followers (unbounded fan-out)",
+     "SELECT * FROM follows WHERE follower = <u> LIMIT 20"),
+    ("Twitter follower join (unbounded even with LIMIT)",
+     "SELECT p.* FROM follows f JOIN profiles p ON f.followee = p.user_id "
+     "WHERE f.follower = <u> LIMIT 20"),
+    ("friends of friends without LIMIT",
+     "SELECT p.* FROM friendships f JOIN friendships g ON f.f2 = g.f1 "
+     "JOIN profiles p ON g.f2 = p.user_id WHERE f.f1 = <u>"),
+    ("full table scan",
+     "SELECT * FROM profiles WHERE name = 'Alice'"),
+]
+
+# Which corpus entries the paper's model should admit.
+EXPECTED_ADMITTED = {
+    "friend list (Facebook 5k cap)",
+    "friend birthdays (paper's example)",
+    "recent statuses",
+    "friends of friends (bounded, LIMIT)",
+    "statuses since cursor",
+}
+
+
+def run_experiment():
+    analyzer = QueryAnalyzer(_registry())
+    rows = []
+    for label, sql in CORPUS:
+        try:
+            analyzed = analyzer.analyze(parse_query(sql))
+            rows.append((label, "ADMITTED", f"read<={analyzed.read_work_bound}",
+                         f"update<={analyzed.update_work_bound}"))
+        except QueryRejected as rejection:
+            rows.append((label, "REJECTED", rejection.reason.value, ""))
+    return rows
+
+
+def test_e2_query_admission(benchmark, table_printer):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    table_printer(
+        "E2 — query-template admission decisions",
+        ["template", "decision", "reason / read bound", "update bound"],
+        rows,
+    )
+    admitted = {label for label, decision, *_ in rows if decision == "ADMITTED"}
+    assert admitted == EXPECTED_ADMITTED

@@ -1,0 +1,66 @@
+"""E3 — bounded-work index maintenance (the O(K) claim).
+
+Section 3.2 requires every update function to run in O(K) for an
+application-chosen constant K.  This benchmark measures the actual number of
+index/lookup operations performed when a user with K friends changes her
+birthday (the worst case for the birthday index: every friend's index entry
+moves) for several values of K, and checks the work scales with K — and only
+with K, not with the total population.
+"""
+
+from __future__ import annotations
+
+from repro.core.index.maintenance import EntityWrite
+from repro.experiments.harness import build_engine_and_app
+
+FRIEND_COUNTS = [10, 40, 160]
+
+
+def _maintenance_ops_for_birthday_change(k: int, extra_users: int) -> int:
+    engine, app, _ = build_engine_and_app(
+        seed=23, n_users=5, friend_cap=k + 5, mean_friends=1.0,
+        autoscale=False, initial_groups=2,
+    )
+    engine.start()
+    app.create_user("star", "Star", "06-06")
+    for i in range(k):
+        app.create_user(f"fan{i}", f"Fan {i}", "01-01")
+        app.add_friendship(f"fan{i}", "star")
+    # Population padding that must NOT affect per-update work.
+    for i in range(extra_users):
+        app.create_user(f"bystander{i}", "Bystander", "02-02")
+    engine.settle(seconds=5.0)
+    result = engine.maintainer.apply(
+        EntityWrite(
+            entity="profiles",
+            old_row={"user_id": "star", "name": "Star", "birthday": "06-06", "hometown": ""},
+            new_row={"user_id": "star", "name": "Star", "birthday": "09-09", "hometown": ""},
+        )
+    )
+    return result.total_ops
+
+
+def run_experiment():
+    rows = []
+    for k in FRIEND_COUNTS:
+        ops = _maintenance_ops_for_birthday_change(k, extra_users=0)
+        ops_with_bystanders = _maintenance_ops_for_birthday_change(k, extra_users=200)
+        rows.append((k, ops, ops_with_bystanders))
+    return rows
+
+
+def test_e3_bounded_updates(benchmark, table_printer):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    table_printer(
+        "E3 — maintenance work for one birthday change vs. friend count K",
+        ["friends (K)", "ops (base population)", "ops (+200 bystander users)"],
+        rows,
+    )
+    # Work grows with K...
+    assert rows[-1][1] > rows[0][1]
+    for k, ops, _ in rows:
+        # ... linearly: one delete + one insert per friend plus bounded lookups.
+        assert ops <= 6 * k + 20, f"update work {ops} is not O(K) for K={k}"
+    # ... and is independent of the total population.
+    for _, ops, ops_padded in rows:
+        assert abs(ops_padded - ops) <= 4

@@ -1,0 +1,58 @@
+"""E6 — the economics of scaling down.
+
+Section 1/2.1: with per-machine-hour billing, "keeping idle servers active
+during non-peak times is a waste of money"; scaling is defined as keeping
+cost per user roughly constant.  This benchmark runs two compressed diurnal
+cycles and compares dollars and cost per million requests for the autoscaled
+system against a static cluster provisioned for the peak.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments.harness import SCALED_DOWN_INSTANCE, run_closed_loop
+from repro.workloads.traces import DiurnalTrace
+
+TRACE = DiurnalTrace(base_rate=6.0, peak_rate=80.0, peak_hour=0.35, period_hours=0.7)
+DURATION = 2 * 0.7 * 3600.0  # two compressed "days"
+
+
+def run_experiment():
+    autoscaled = run_closed_loop(TRACE, DURATION, seed=19, n_users=120,
+                                 autoscale=True, initial_groups=1,
+                                 control_interval=30.0)
+    # Static baseline provisioned for the peak: groups sized so peak load fits.
+    peak_nodes = math.ceil(TRACE.peak_rate_over(DURATION)
+                           / (SCALED_DOWN_INSTANCE.capacity_ops_per_sec * 0.6))
+    peak_groups = max(math.ceil(peak_nodes / 3), 1)
+    static_peak = run_closed_loop(TRACE, DURATION, seed=19, n_users=120,
+                                  autoscale=False, initial_groups=peak_groups)
+    return autoscaled, static_peak
+
+
+def test_e6_scale_down_economics(benchmark, table_printer):
+    autoscaled, static_peak = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    rows = []
+    for label, result in (("SCADS (scales up and down)", autoscaled),
+                          ("static, provisioned for peak", static_peak)):
+        rows.append((
+            label,
+            result.peak_nodes,
+            result.final_nodes,
+            f"{result.cost.machine_hours:.1f}",
+            f"{result.cost.dollars:.2f}",
+            f"{result.cost.cost_per_million_requests():.2f}",
+            result.read_report.satisfied,
+        ))
+    table_printer(
+        "E6 — two diurnal cycles: machine-hours and cost per million requests",
+        ["system", "peak nodes", "final nodes", "machine-hours", "dollars",
+         "$ / M requests", "read SLA met"],
+        rows,
+    )
+    savings = 1.0 - autoscaled.cost.dollars / static_peak.cost.dollars
+    print(f"\nautoscaling saved {savings * 100:.0f}% of the static-peak bill "
+          f"while still scaling down {autoscaled.scale_downs} time(s)")
+    assert autoscaled.scale_downs >= 1
+    assert autoscaled.cost.dollars < static_peak.cost.dollars

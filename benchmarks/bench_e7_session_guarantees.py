@@ -1,0 +1,77 @@
+"""E7 — session guarantees over lazy replication.
+
+Figure 4's session axis: "I must read my own writes."  This benchmark
+measures the own-write anomaly rate (a user immediately re-reading data they
+just wrote and not seeing it) and the monotonic-read anomaly rate, with and
+without the corresponding guarantee declared, plus the latency price paid for
+the primary fallbacks the guarantee forces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import Scads
+from repro.core.consistency.spec import ConsistencySpec, SessionGuarantee
+from repro.core.schema import EntitySchema, Field
+
+PROBES = 150
+
+
+def _build(guarantee: SessionGuarantee, seed: int = 37) -> Scads:
+    engine = Scads(seed=seed, autoscale=False, initial_groups=2,
+                   consistency=ConsistencySpec(session=guarantee))
+    engine.register_entity(EntitySchema(
+        "walls", key_fields=[Field("user_id")], value_fields=[Field("post")],
+    ))
+    engine.start()
+    return engine
+
+
+def _probe(engine: Scads) -> dict:
+    own_write_anomalies = 0
+    monotonic_anomalies = 0
+    read_latencies = []
+    for i in range(PROBES):
+        user = f"user{i % 25}"
+        engine.put("walls", {"user_id": user, "post": f"post {i}"}, session_id=user)
+        outcome = engine.get("walls", (user,), session_id=user)
+        read_latencies.append(outcome.latency)
+        if outcome.success and (outcome.row is None or outcome.row.get("post") != f"post {i}"):
+            own_write_anomalies += 1
+        # A second read must not go backwards relative to the first.
+        second = engine.get("walls", (user,), session_id=user)
+        if (outcome.row is not None and second.success
+                and (second.row is None or second.row.get("post") < outcome.row.get("post"))):
+            monotonic_anomalies += 1
+        engine.run_for(0.2)
+    return {
+        "own_write_anomalies": own_write_anomalies,
+        "monotonic_anomalies": monotonic_anomalies,
+        "mean_read_ms": float(np.mean(read_latencies)) * 1000.0,
+    }
+
+
+def run_experiment():
+    without = _probe(_build(SessionGuarantee()))
+    with_guarantees = _probe(_build(SessionGuarantee(read_your_writes=True,
+                                                     monotonic_reads=True)))
+    return without, with_guarantees
+
+
+def test_e7_session_guarantees(benchmark, table_printer):
+    without, with_guarantees = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    table_printer(
+        "E7 — session guarantees: anomalies prevented and latency paid",
+        ["configuration", f"own-write anomalies (of {PROBES})",
+         f"monotonic anomalies (of {PROBES})", "mean read latency (ms)"],
+        [
+            ("no session guarantees", without["own_write_anomalies"],
+             without["monotonic_anomalies"], f"{without['mean_read_ms']:.2f}"),
+            ("read-your-writes + monotonic reads", with_guarantees["own_write_anomalies"],
+             with_guarantees["monotonic_anomalies"], f"{with_guarantees['mean_read_ms']:.2f}"),
+        ],
+    )
+    assert with_guarantees["own_write_anomalies"] == 0
+    assert with_guarantees["monotonic_anomalies"] == 0
+    assert without["own_write_anomalies"] > 0

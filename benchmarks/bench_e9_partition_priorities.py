@@ -1,0 +1,82 @@
+"""E9 — arbitration under a network partition.
+
+Section 3.3.1's disconnected-datacenter example: when the availability SLA
+and the read-consistency bound cannot both be met, the developer's declared
+priority ordering decides.  This benchmark partitions the client from every
+primary and measures, for both priority orderings, how many reads are served
+(possibly stale) vs. failed, and that the decisions are recorded for the
+provisioning feedback described in the paper.
+"""
+
+from __future__ import annotations
+
+from repro import Scads
+from repro.core.consistency.spec import (
+    Axis,
+    ConsistencySpec,
+    ReadConsistency,
+    SessionGuarantee,
+)
+from repro.core.schema import EntitySchema, Field
+
+READS_DURING_PARTITION = 80
+
+
+def _run(priority, seed=43):
+    spec = ConsistencySpec(
+        session=SessionGuarantee(read_your_writes=True),
+        read=ReadConsistency(staleness_bound=30.0),
+        priority=priority,
+    )
+    engine = Scads(seed=seed, autoscale=False, initial_groups=2, consistency=spec)
+    engine.register_entity(EntitySchema(
+        "walls", key_fields=[Field("user_id")], value_fields=[Field("post")],
+    ))
+    engine.start()
+    for i in range(20):
+        engine.put("walls", {"user_id": f"user{i}", "post": f"post {i}"},
+                   session_id=f"user{i}")
+    engine.settle()
+    primaries = {group.primary for group in engine.cluster.groups.values()}
+    engine.cluster.network.partition({"client"}, primaries)
+    served = failed = 0
+    for i in range(READS_DURING_PARTITION):
+        outcome = engine.get("walls", (f"user{i % 20}",), session_id=f"user{i % 20}")
+        if outcome.success:
+            served += 1
+        else:
+            failed += 1
+    return {
+        "served": served,
+        "failed": failed,
+        "stale_serves_recorded": engine.arbitrator.stale_serves(),
+        "failures_recorded": engine.arbitrator.failed_requests(),
+    }
+
+
+def run_experiment():
+    availability_first = _run([Axis.AVAILABILITY, Axis.READ_CONSISTENCY, Axis.SESSION])
+    consistency_first = _run([Axis.READ_CONSISTENCY, Axis.SESSION, Axis.AVAILABILITY])
+    return availability_first, consistency_first
+
+
+def test_e9_partition_arbitration(benchmark, table_printer):
+    availability_first, consistency_first = benchmark.pedantic(run_experiment,
+                                                               rounds=1, iterations=1)
+    table_printer(
+        "E9 — reads during a client/primary partition under each priority ordering",
+        ["priority ordering", f"reads served (of {READS_DURING_PARTITION})", "reads failed",
+         "stale serves recorded", "failures recorded"],
+        [
+            ("availability > read consistency", availability_first["served"],
+             availability_first["failed"], availability_first["stale_serves_recorded"],
+             availability_first["failures_recorded"]),
+            ("read consistency > availability", consistency_first["served"],
+             consistency_first["failed"], consistency_first["stale_serves_recorded"],
+             consistency_first["failures_recorded"]),
+        ],
+    )
+    assert availability_first["served"] == READS_DURING_PARTITION
+    assert availability_first["stale_serves_recorded"] > 0
+    assert consistency_first["failed"] > 0
+    assert consistency_first["failures_recorded"] > 0

@@ -1,0 +1,131 @@
+"""F4 — Figure 4: the axes of consistency.
+
+Figure 4 is a table of the five declarative axes and an example of each.
+This benchmark exercises every axis end-to-end on the simulated cluster and
+reports, per axis, the declared requirement next to the measured behaviour:
+
+* performance       — 99th-percentile read latency vs. the declared target,
+* write consistency — outcome of conflicting writes under each policy,
+* read consistency  — worst observed replication lag vs. the declared bound,
+* session guarantees— stale-own-write anomalies with and without the guarantee,
+* durability        — replication factor chosen for each declared probability.
+"""
+
+from __future__ import annotations
+
+from repro import Scads
+from repro.core.consistency.spec import (
+    ConsistencySpec,
+    DurabilitySLA,
+    PerformanceSLA,
+    ReadConsistency,
+    SessionGuarantee,
+    WriteConsistency,
+    WritePolicy,
+)
+from repro.core.schema import EntitySchema, Field
+from repro.experiments.harness import default_spec, run_closed_loop
+from repro.storage.durability import DurabilityModel
+from repro.workloads.traces import ConstantTrace
+
+
+def _engine(spec: ConsistencySpec, seed: int = 9) -> Scads:
+    engine = Scads(seed=seed, autoscale=False, consistency=spec, initial_groups=2)
+    engine.register_entity(EntitySchema(
+        name="items", key_fields=[Field("key")], value_fields=[Field("a"), Field("b")],
+    ))
+    engine.start()
+    return engine
+
+
+def axis_performance():
+    spec = default_spec(latency=0.150, percentile=99.0)
+    result = run_closed_loop(ConstantTrace(25.0), 600.0, seed=2, n_users=100, spec=spec)
+    report = result.read_report
+    return ("Performance", "99% of reads < 150 ms",
+            f"p99 = {report.observed_percentile_latency * 1000:.1f} ms, met={report.satisfied}",
+            report.satisfied)
+
+
+def axis_write_consistency():
+    def merge(current, incoming):
+        merged = dict(current)
+        merged["a"] = (current.get("a") or 0) + (incoming.get("a") or 0)
+        return merged
+
+    lww = _engine(ConsistencySpec(write=WriteConsistency(WritePolicy.LAST_WRITE_WINS)))
+    lww.put("items", {"key": "k", "a": 1, "b": 1})
+    lww.put("items", {"key": "k", "a": 2, "b": None})
+    lww.settle()
+    lww_row = lww.get("items", ("k",)).row
+
+    merging = _engine(ConsistencySpec(write=WriteConsistency(WritePolicy.MERGE,
+                                                             merge_function=merge)))
+    merging.put("items", {"key": "k", "a": 1, "b": 1})
+    merging.put("items", {"key": "k", "a": 2, "b": None})
+    merging.settle()
+    merge_row = merging.get("items", ("k",)).row
+
+    ok = lww_row.get("b") is None and merge_row.get("a") == 3 and merge_row.get("b") == 1
+    return ("Write consistency", "serializable / merge / last-write-wins",
+            f"LWW kept only the last write (b={lww_row.get('b')}); "
+            f"merge combined both (a={merge_row.get('a')}, b={merge_row.get('b')})", ok)
+
+
+def axis_read_consistency():
+    spec = default_spec(staleness_bound=30.0)
+    result = run_closed_loop(ConstantTrace(25.0), 600.0, seed=4, n_users=100, spec=spec)
+    lag = result.max_replication_lag
+    miss = result.deadline_miss_rate
+    ok = lag <= 30.0
+    return ("Read consistency", "stale data gone within 30 s",
+            f"max replication lag {lag:.2f} s, maintenance deadline miss rate {miss:.3f}", ok)
+
+
+def axis_session_guarantees():
+    with_guarantee = _engine(ConsistencySpec(session=SessionGuarantee(read_your_writes=True)),
+                             seed=11)
+    without = _engine(ConsistencySpec(), seed=11)
+    anomalies = {"with": 0, "without": 0}
+    for label, engine in (("with", with_guarantee), ("without", without)):
+        for i in range(50):
+            user = f"user{i}"
+            engine.put("items", {"key": user, "a": i, "b": i}, session_id=user)
+            row = engine.get("items", (user,), session_id=user).row
+            if row is None or row.get("a") != i:
+                anomalies[label] += 1
+    ok = anomalies["with"] == 0 and anomalies["without"] > 0
+    return ("Session guarantees", "I must read my own writes",
+            f"own-write anomalies: {anomalies['with']}/50 with the guarantee, "
+            f"{anomalies['without']}/50 without", ok)
+
+
+def axis_durability():
+    model = DurabilityModel()
+    strict = model.required_replication_factor(0.99999)
+    relaxed = model.required_replication_factor(0.99)
+    ok = strict >= relaxed
+    return ("Durability SLA", "data persists with 99.999% probability",
+            f"replication factor {strict} (vs. {relaxed} for a relaxed 99% target; "
+            f"achieved durability {model.durability(strict):.7f})", ok)
+
+
+def run_experiment():
+    return [
+        axis_performance(),
+        axis_write_consistency(),
+        axis_read_consistency(),
+        axis_session_guarantees(),
+        axis_durability(),
+    ]
+
+
+def test_fig4_consistency_axes(benchmark, table_printer):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    table_printer(
+        "Figure 4 — the axes of consistency, declared vs. measured",
+        ["Axis", "Declared (example from the paper)", "Measured behaviour", "holds"],
+        [(axis, declared, measured, holds) for axis, declared, measured, holds in rows],
+    )
+    for axis, _, measured, holds in rows:
+        assert holds, f"axis {axis!r} did not hold: {measured}"

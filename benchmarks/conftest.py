@@ -1,0 +1,40 @@
+"""Benchmark-suite configuration.
+
+Makes the ``src`` layout importable without installation and provides a
+shared helper for printing the tables each benchmark reproduces, so the
+output of ``pytest benchmarks/ --benchmark-only`` reads like the paper's
+evaluation section.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import Iterable, List, Sequence
+
+import pytest
+
+_SRC = os.path.join(os.path.dirname(__file__), "..", "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+
+def print_table(title: str, header: Sequence[str], rows: Iterable[Sequence[object]]) -> None:
+    """Print one experiment's result table in a fixed-width layout."""
+    rows = [list(map(str, row)) for row in rows]
+    widths = [len(h) for h in header]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(header))
+    print(f"\n=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+
+
+@pytest.fixture()
+def table_printer():
+    """Fixture handing benchmarks the shared table printer."""
+    return print_table

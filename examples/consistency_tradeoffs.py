@@ -1,0 +1,136 @@
+"""Explore the declarative consistency axes of the paper's Figure 4.
+
+The same application is run under three different declarative specifications:
+
+* strict   — serializable writes, read-your-writes, tight staleness bound,
+             consistency prioritised over availability;
+* balanced — last-write-wins, read-your-writes, ten-minute staleness bound;
+* relaxed  — last-write-wins, no session guarantees, relaxed durability.
+
+The script reports what each choice costs (write latency, replication factor)
+and what it buys (no stale reads for the session, bounded staleness), and
+then demonstrates the partition-arbitration behaviour: with availability
+prioritised the system serves possibly-stale data, with consistency
+prioritised it refuses.
+
+Run with ``python examples/consistency_tradeoffs.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+try:
+    from repro import Scads
+except ImportError:
+    sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+    from repro import Scads
+
+from repro.core.consistency.spec import (
+    Axis,
+    ConsistencySpec,
+    DurabilitySLA,
+    PerformanceSLA,
+    ReadConsistency,
+    SessionGuarantee,
+    WriteConsistency,
+    WritePolicy,
+)
+from repro.core.schema import EntitySchema, Field
+
+
+SPECS = {
+    "strict": ConsistencySpec(
+        performance=PerformanceSLA(percentile=99.9, latency=0.1),
+        write=WriteConsistency(WritePolicy.SERIALIZABLE),
+        read=ReadConsistency(staleness_bound=5.0),
+        session=SessionGuarantee(read_your_writes=True, monotonic_reads=True),
+        durability=DurabilitySLA(probability=0.9999999),
+        priority=[Axis.READ_CONSISTENCY, Axis.SESSION, Axis.DURABILITY, Axis.AVAILABILITY],
+    ),
+    "balanced": ConsistencySpec(
+        performance=PerformanceSLA(percentile=99.9, latency=0.1),
+        write=WriteConsistency(WritePolicy.LAST_WRITE_WINS),
+        read=ReadConsistency(staleness_bound=600.0),
+        session=SessionGuarantee(read_your_writes=True),
+        durability=DurabilitySLA(probability=0.99999),
+    ),
+    "relaxed": ConsistencySpec(
+        performance=PerformanceSLA(percentile=99.0, latency=0.2),
+        write=WriteConsistency(WritePolicy.LAST_WRITE_WINS),
+        read=ReadConsistency(staleness_bound=3600.0),
+        session=SessionGuarantee(),
+        durability=DurabilitySLA(probability=0.99),
+    ),
+}
+
+
+def build_engine(spec: ConsistencySpec) -> Scads:
+    engine = Scads(seed=21, autoscale=False, consistency=spec, initial_groups=2)
+    engine.register_entity(EntitySchema(
+        name="profiles",
+        key_fields=[Field("user_id")],
+        value_fields=[Field("name"), Field("status")],
+    ))
+    engine.start()
+    return engine
+
+
+def measure(name: str, spec: ConsistencySpec) -> None:
+    engine = build_engine(spec)
+    write_latencies = []
+    stale_session_reads = 0
+    for i in range(100):
+        user = f"user{i % 10}"
+        outcome = engine.put("profiles", {"user_id": user, "name": user,
+                                          "status": f"status {i}"}, session_id=user)
+        write_latencies.append(outcome.latency)
+        read = engine.get("profiles", (user,), session_id=user)
+        if read.success and (read.row is None or read.row.get("status") != f"status {i}"):
+            stale_session_reads += 1
+        engine.run_for(0.5)
+    mean_write_ms = 1000.0 * sum(write_latencies) / len(write_latencies)
+    print(f"\n=== {name} ===")
+    for axis, description in spec.describe().items():
+        print(f"  {axis:<20} {description}")
+    print(f"  -> replication factor chosen: {engine.replication_factor}")
+    print(f"  -> mean write latency: {mean_write_ms:.2f} ms")
+    print(f"  -> session-visible stale reads: {stale_session_reads} / 100")
+
+
+def demonstrate_arbitration() -> None:
+    print("\n=== partition arbitration (Section 3.3.1) ===")
+    for label, priority in (
+        ("availability first", [Axis.AVAILABILITY, Axis.READ_CONSISTENCY, Axis.SESSION]),
+        ("consistency first", [Axis.READ_CONSISTENCY, Axis.SESSION, Axis.AVAILABILITY]),
+    ):
+        spec = ConsistencySpec(
+            session=SessionGuarantee(read_your_writes=True),
+            read=ReadConsistency(staleness_bound=30.0),
+            priority=priority,
+        )
+        engine = build_engine(spec)
+        engine.put("profiles", {"user_id": "alice", "name": "Alice", "status": "pre-partition"},
+                   session_id="alice")
+        engine.settle()
+        primaries = {group.primary for group in engine.cluster.groups.values()}
+        engine.cluster.network.partition({"client"}, primaries)
+        served = failed = 0
+        for _ in range(20):
+            outcome = engine.get("profiles", ("alice",), session_id="alice")
+            served += outcome.success
+            failed += not outcome.success
+        print(f"  {label:<20} served={served:<3} failed={failed:<3} "
+              f"(stale serves recorded: {engine.arbitrator.stale_serves()}, "
+              f"failures recorded: {engine.arbitrator.failed_requests()})")
+
+
+def main() -> None:
+    for name, spec in SPECS.items():
+        measure(name, spec)
+    demonstrate_arbitration()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""A small social-network site running on SCADS under a realistic workload.
+
+Builds the reference application (profiles, friendships, statuses, the
+paper's three query templates), bulk-loads a synthetic social graph with
+bounded degree, and drives it with the CloudStone-like operation mix for a
+simulated half hour, printing SLA attainment and per-operation latencies.
+
+Run with ``python examples/social_network_site.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+try:
+    from repro import Scads
+except ImportError:
+    sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+    from repro import Scads
+
+from repro.experiments.harness import build_engine_and_app, default_spec
+from repro.workloads.generator import LoadGenerator
+from repro.workloads.opmix import CloudStoneMix
+from repro.workloads.traces import DiurnalTrace
+
+
+def main() -> None:
+    spec = default_spec(latency=0.150, percentile=99.0, staleness_bound=60.0,
+                        read_your_writes=True)
+    engine, app, graph = build_engine_and_app(
+        seed=7, n_users=300, friend_cap=25, mean_friends=6.0,
+        spec=spec, autoscale=True, initial_groups=2,
+    )
+    engine.start()
+    print(f"loaded {len(graph.users())} users, "
+          f"{sum(graph.friend_count(u) for u in graph.users()) // 2} friendships, "
+          f"mean degree {graph.mean_degree():.1f}")
+    print("declared consistency spec:")
+    for axis, description in spec.describe().items():
+        print(f"  {axis:<20} {description}")
+
+    trace = DiurnalTrace(base_rate=20.0, peak_rate=80.0, peak_hour=0.5)
+    mix = CloudStoneMix(graph, engine.sim.random.get("site-workload"))
+    generator = LoadGenerator(engine.sim, trace, mix, app.execute)
+    generator.start()
+    engine.run_for(1800.0)  # half an hour of simulated traffic
+    generator.stop()
+
+    print(f"\nworkload: {generator.stats.operations_issued} operations "
+          f"({generator.stats.writes_issued} writes)")
+    print(f"page views served by the app: {app.stats.page_views}")
+    print(f"cluster: {engine.cluster.node_count()} nodes in "
+          f"{engine.cluster.group_count()} replica groups; "
+          f"${engine.cost_so_far():.2f} spent")
+
+    for op_type in ("read", "write"):
+        report = engine.sla_report(op_type)
+        print(f"\n{op_type} SLA ({spec.performance.describe()}):")
+        print(f"  requests: {report.request_count}")
+        print(f"  observed {report.target_percentile}th percentile: "
+              f"{report.observed_percentile_latency * 1000:.1f} ms")
+        print(f"  fraction within target: {report.observed_fraction_within:.4f}")
+        print(f"  satisfied: {report.satisfied}")
+
+    stats = engine.updater.stats()
+    print(f"\nindex maintenance: {stats.completed} updates applied, "
+          f"mean lag {stats.mean_lag:.2f}s, max lag {stats.max_lag:.2f}s, "
+          f"deadline miss rate {stats.miss_rate:.4f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The project is configured through ``pyproject.toml``; this file exists so
+that ``pip install -e .`` (and ``python setup.py develop``) also work on
+older toolchains without the ``wheel`` package installed.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,10 @@
+"""Reference applications built on the public SCADS API.
+
+These are the applications the paper's motivation section describes (a
+social-network site with friends, profiles, statuses, and birthday lookups).
+The examples and benchmarks drive them with the workload substrate.
+"""
+
+from repro.apps.social_network import SocialNetworkApp
+
+__all__ = ["SocialNetworkApp"]

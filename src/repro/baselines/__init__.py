@@ -1,0 +1,17 @@
+"""Comparison baselines.
+
+* :class:`NaiveRdbms` — an unrestricted, single-node, scan-based store: the
+  architecture the paper argues stops scaling (per-query cost grows with the
+  user population).
+* static provisioning — simply a :class:`~repro.core.engine.Scads` instance
+  constructed with ``autoscale=False``; no separate class is needed.
+* reactive provisioning — ``Scads(predictive_scaling=False)``: the controller
+  reacts to the current observation instead of the ML forecast.
+* :class:`QuorumStore` — a Dynamo-style (N, R, W) tunable store used to
+  compare hand-tuned quorums against the declarative specification.
+"""
+
+from repro.baselines.naive_rdbms import NaiveRdbms
+from repro.baselines.quorum_store import QuorumStore
+
+__all__ = ["NaiveRdbms", "QuorumStore"]

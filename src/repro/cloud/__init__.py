@@ -1,0 +1,21 @@
+"""Utility-computing substrate: an EC2-like instance pool with billing.
+
+The paper's scaling argument is economic ("keeping idle servers active during
+non-peak times is a waste of money") and operational (instances take minutes
+to boot, so the provisioner must anticipate load).  This package models both:
+instance types with hourly prices and boot delays, an elastic pool, and a
+billing meter that charges by the (partial) machine hour.
+"""
+
+from repro.cloud.instances import Instance, InstanceState, InstanceType, INSTANCE_TYPES
+from repro.cloud.pool import InstancePool
+from repro.cloud.billing import BillingMeter
+
+__all__ = [
+    "Instance",
+    "InstanceState",
+    "InstanceType",
+    "INSTANCE_TYPES",
+    "InstancePool",
+    "BillingMeter",
+]

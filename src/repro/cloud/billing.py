@@ -1,0 +1,68 @@
+"""Machine-hour billing, charged per started hour per instance (EC2-style)."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.cloud.instances import InstanceType
+
+
+@dataclass
+class Lease:
+    """One instance's rental period."""
+
+    instance_id: str
+    instance_type: InstanceType
+    start: float
+    end: Optional[float] = None
+
+    def machine_hours(self, now: float) -> float:
+        """Billable machine-hours: elapsed time rounded up to whole hours."""
+        end = self.end if self.end is not None else now
+        elapsed = max(end - self.start, 0.0)
+        return float(math.ceil(elapsed / 3600.0)) if elapsed > 0 else 0.0
+
+    def cost(self, now: float) -> float:
+        """Dollars owed for this lease so far."""
+        return self.machine_hours(now) * self.instance_type.hourly_cost
+
+
+class BillingMeter:
+    """Accumulates leases and answers cost queries."""
+
+    def __init__(self) -> None:
+        self._leases: Dict[str, Lease] = {}
+
+    def open_lease(self, instance_id: str, instance_type: InstanceType, now: float) -> Lease:
+        """Start billing an instance."""
+        if instance_id in self._leases and self._leases[instance_id].end is None:
+            raise ValueError(f"instance {instance_id!r} already has an open lease")
+        lease = Lease(instance_id=instance_id, instance_type=instance_type, start=now)
+        self._leases[instance_id] = lease
+        return lease
+
+    def close_lease(self, instance_id: str, now: float) -> Lease:
+        """Stop billing an instance (the started hour is still charged)."""
+        lease = self._leases.get(instance_id)
+        if lease is None:
+            raise KeyError(f"no lease for instance {instance_id!r}")
+        if lease.end is None:
+            lease.end = now
+        return lease
+
+    def leases(self) -> List[Lease]:
+        return list(self._leases.values())
+
+    def total_machine_hours(self, now: float) -> float:
+        """Machine-hours across every lease, open leases billed up to ``now``."""
+        return sum(lease.machine_hours(now) for lease in self._leases.values())
+
+    def total_cost(self, now: float) -> float:
+        """Dollars across every lease, open leases billed up to ``now``."""
+        return sum(lease.cost(now) for lease in self._leases.values())
+
+    def open_lease_count(self) -> int:
+        """Number of instances currently being billed."""
+        return sum(1 for lease in self._leases.values() if lease.end is None)

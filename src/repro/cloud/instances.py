@@ -1,0 +1,99 @@
+"""Instance types and instance lifecycle.
+
+Prices and boot times are modelled on 2008-era EC2 (the paper's setting):
+an m1.small at $0.10/hour booting in a couple of minutes.  Absolute values
+only matter for the cost experiments' *ratios* (autoscaled vs. static), so
+the defaults are round numbers documented here rather than hidden constants.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+class InstanceState(enum.Enum):
+    """Lifecycle of a rented instance."""
+
+    BOOTING = "booting"
+    RUNNING = "running"
+    TERMINATED = "terminated"
+
+
+@dataclass(frozen=True)
+class InstanceType:
+    """A rentable machine class.
+
+    Attributes:
+        name: type label (e.g. ``m1.small``).
+        hourly_cost: dollars per machine-hour, billed per started hour.
+        boot_delay: seconds from the rent request until the instance is usable.
+        capacity_ops_per_sec: sustainable storage-request rate when used as a
+            storage node; this is how the capacity planner converts "ops/sec
+            needed" into "instances needed".
+    """
+
+    name: str
+    hourly_cost: float
+    boot_delay: float
+    capacity_ops_per_sec: float
+
+    def __post_init__(self) -> None:
+        if self.hourly_cost < 0:
+            raise ValueError("hourly cost must be non-negative")
+        if self.boot_delay < 0:
+            raise ValueError("boot delay must be non-negative")
+        if self.capacity_ops_per_sec <= 0:
+            raise ValueError("capacity must be positive")
+
+
+INSTANCE_TYPES: Dict[str, InstanceType] = {
+    "m1.small": InstanceType(
+        name="m1.small", hourly_cost=0.10, boot_delay=120.0, capacity_ops_per_sec=1000.0
+    ),
+    "m1.large": InstanceType(
+        name="m1.large", hourly_cost=0.40, boot_delay=150.0, capacity_ops_per_sec=4500.0
+    ),
+    "m1.xlarge": InstanceType(
+        name="m1.xlarge", hourly_cost=0.80, boot_delay=180.0, capacity_ops_per_sec=9500.0
+    ),
+}
+
+
+@dataclass
+class Instance:
+    """One rented machine."""
+
+    instance_id: str
+    instance_type: InstanceType
+    launch_time: float
+    state: InstanceState = InstanceState.BOOTING
+    ready_time: Optional[float] = None
+    termination_time: Optional[float] = None
+
+    def mark_running(self, now: float) -> None:
+        """Transition from BOOTING to RUNNING (idempotent once terminated-checked)."""
+        if self.state is InstanceState.TERMINATED:
+            raise ValueError(f"instance {self.instance_id} already terminated")
+        self.state = InstanceState.RUNNING
+        self.ready_time = now
+
+    def terminate(self, now: float) -> None:
+        """Stop the instance; billing stops at the end of the current hour."""
+        if self.state is InstanceState.TERMINATED:
+            return
+        self.state = InstanceState.TERMINATED
+        self.termination_time = now
+
+    def billable_hours(self, now: float) -> float:
+        """Machine-hours to bill so far, rounded up to whole started hours."""
+        end = self.termination_time if self.termination_time is not None else now
+        elapsed = max(end - self.launch_time, 0.0)
+        import math
+
+        return float(math.ceil(elapsed / 3600.0)) if elapsed > 0 else 0.0
+
+    def is_usable(self) -> bool:
+        """True when the instance can serve traffic."""
+        return self.state is InstanceState.RUNNING

@@ -1,0 +1,142 @@
+"""The elastic instance pool.
+
+The provisioning controller asks the pool for more machines (paying the boot
+delay before they become usable) or releases machines it no longer needs.
+The pool records a full time series of running-instance counts so the Figure-1
+reproduction can print the same "servers over time" curve the paper shows for
+Animoto.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, List, Optional
+
+from repro.cloud.billing import BillingMeter
+from repro.cloud.instances import INSTANCE_TYPES, Instance, InstanceState, InstanceType
+from repro.metrics.timeseries import TimeSeries
+from repro.sim.simulator import Simulator
+
+
+class InstancePool:
+    """Rents and releases simulated utility-computing instances."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        instance_type: InstanceType = INSTANCE_TYPES["m1.small"],
+        max_instances: int = 10_000,
+    ) -> None:
+        if max_instances < 1:
+            raise ValueError("max_instances must be at least 1")
+        self._sim = simulator
+        self.instance_type = instance_type
+        self.max_instances = max_instances
+        self.billing = BillingMeter()
+        self._instances: Dict[str, Instance] = {}
+        self._counter = itertools.count()
+        self._count_series = TimeSeries(name="running-instances")
+        self._count_series.append(simulator.now, 0.0)
+
+    # ----------------------------------------------------------------- renting
+
+    def launch(self, count: int = 1,
+               on_ready: Optional[Callable[[Instance], None]] = None,
+               boot_delay_override: Optional[float] = None) -> List[Instance]:
+        """Request ``count`` new instances.
+
+        Each instance becomes usable after its type's boot delay, at which
+        point ``on_ready`` is invoked (the provisioner uses this to attach the
+        machine to the storage cluster).  ``boot_delay_override`` exists so a
+        controller can adopt machines that are already running (delay 0) at
+        experiment start.  Raises ``ValueError`` when the request would exceed
+        the pool cap.
+        """
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        if boot_delay_override is not None and boot_delay_override < 0:
+            raise ValueError("boot_delay_override must be non-negative")
+        if self.active_count() + self.booting_count() + count > self.max_instances:
+            raise ValueError(
+                f"launching {count} instances would exceed the pool cap of {self.max_instances}"
+            )
+        boot_delay = (
+            self.instance_type.boot_delay if boot_delay_override is None else boot_delay_override
+        )
+        launched = []
+        for _ in range(count):
+            instance = Instance(
+                instance_id=f"i-{next(self._counter):06d}",
+                instance_type=self.instance_type,
+                launch_time=self._sim.now,
+            )
+            self._instances[instance.instance_id] = instance
+            self.billing.open_lease(instance.instance_id, self.instance_type, self._sim.now)
+            launched.append(instance)
+
+            def make_ready(inst: Instance) -> Callable[[], None]:
+                def ready() -> None:
+                    if inst.state is InstanceState.TERMINATED:
+                        return
+                    inst.mark_running(self._sim.now)
+                    self._record_count()
+                    if on_ready is not None:
+                        on_ready(inst)
+
+                return ready
+
+            if boot_delay == 0:
+                make_ready(instance)()
+            else:
+                self._sim.schedule(boot_delay, make_ready(instance),
+                                   name=f"boot:{instance.instance_id}")
+        self._record_count()
+        return launched
+
+    def terminate(self, instance_id: str) -> None:
+        """Release one instance (billing charges the started hour)."""
+        instance = self._instances.get(instance_id)
+        if instance is None:
+            raise KeyError(f"unknown instance {instance_id!r}")
+        if instance.state is InstanceState.TERMINATED:
+            return
+        instance.terminate(self._sim.now)
+        self.billing.close_lease(instance_id, self._sim.now)
+        self._record_count()
+
+    # ------------------------------------------------------------------ queries
+
+    def instances(self, state: Optional[InstanceState] = None) -> List[Instance]:
+        """All instances, optionally filtered by state."""
+        if state is None:
+            return list(self._instances.values())
+        return [i for i in self._instances.values() if i.state is state]
+
+    def active_count(self) -> int:
+        """Instances currently able to serve traffic."""
+        return len(self.instances(InstanceState.RUNNING))
+
+    def booting_count(self) -> int:
+        """Instances paid for but not yet usable."""
+        return len(self.instances(InstanceState.BOOTING))
+
+    def running_or_booting(self) -> List[Instance]:
+        """Instances that are currently being paid for."""
+        return [i for i in self._instances.values() if i.state is not InstanceState.TERMINATED]
+
+    def count_series(self) -> TimeSeries:
+        """Time series of the number of non-terminated instances."""
+        return self._count_series
+
+    def _record_count(self) -> None:
+        self._count_series.append(self._sim.now, float(len(self.running_or_booting())))
+
+    # ------------------------------------------------------------------ billing
+
+    def total_cost(self) -> float:
+        """Dollars accrued so far (open leases billed up to the current time)."""
+        return self.billing.total_cost(self._sim.now)
+
+    def total_machine_hours(self) -> float:
+        """Machine-hours accrued so far."""
+        return self.billing.total_machine_hours(self._sim.now)

@@ -1,0 +1,20 @@
+"""The paper's core contribution: scale-independent storage.
+
+Subpackages:
+
+* :mod:`repro.core.schema` — entity sets, typed fields, cardinality bounds.
+* :mod:`repro.core.query` — the performance-safe (restricted SQL) query
+  language: parsing, scale-independence analysis, and compilation to
+  pre-computed index plans.
+* :mod:`repro.core.index` — index specifications, the maintenance-function
+  table, and the deadline-ordered asynchronous update engine.
+* :mod:`repro.core.consistency` — the declarative consistency axes of
+  Figure 4, session guarantees, conflict handling, and partition arbitration.
+* :mod:`repro.core.provisioning` — the SLA monitor, workload forecaster,
+  capacity planner, and scale-up/down controller (Figure 2's feedback loop).
+* :mod:`repro.core.engine` — the public :class:`~repro.core.engine.Scads` API.
+"""
+
+from repro.core.engine import Scads
+
+__all__ = ["Scads"]

@@ -1,0 +1,110 @@
+"""Arbitration between conflicting requirements (Section 3.3.1).
+
+"There are often conditions in real world datacenters, such as network
+partitions or link congestion, that would prevent all requirements from being
+met simultaneously.  In such cases, the system will use the developer-
+specified ordering of the requirements to decide which ones are more
+important."
+
+The :class:`Arbitrator` encodes exactly that: when the read path cannot both
+answer (availability) and honour the staleness bound / session guarantee
+(consistency), it consults the spec's priority ordering, records the decision,
+and the engine either serves the stale value or fails the request.  The
+recorded decisions feed back into provisioning, as the paper suggests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.core.consistency.spec import Axis, ConsistencySpec
+
+
+@dataclass(frozen=True)
+class ArbitrationDecision:
+    """One recorded conflict and its resolution."""
+
+    time: float
+    conflict: str  # e.g. "staleness_check_unavailable"
+    winner: Axis
+    loser: Axis
+    served_stale: bool
+    failed_request: bool
+
+
+class Arbitrator:
+    """Resolves availability-vs-consistency conflicts using the declared priority."""
+
+    def __init__(self, spec: ConsistencySpec) -> None:
+        self.spec = spec
+        self._decisions: List[ArbitrationDecision] = []
+
+    # ---------------------------------------------------------------- decisions
+
+    def resolve_read_conflict(self, now: float, conflict: str) -> ArbitrationDecision:
+        """Decide what to do when a read cannot verify its consistency bound.
+
+        If availability outranks read consistency, the (possibly stale) value
+        is served; otherwise the request fails.  Either way the decision is
+        recorded for the provisioning feedback loop and for experiment E9.
+        """
+        availability_first = self.spec.prefers(Axis.AVAILABILITY, Axis.READ_CONSISTENCY)
+        if availability_first:
+            decision = ArbitrationDecision(
+                time=now,
+                conflict=conflict,
+                winner=Axis.AVAILABILITY,
+                loser=Axis.READ_CONSISTENCY,
+                served_stale=True,
+                failed_request=False,
+            )
+        else:
+            decision = ArbitrationDecision(
+                time=now,
+                conflict=conflict,
+                winner=Axis.READ_CONSISTENCY,
+                loser=Axis.AVAILABILITY,
+                served_stale=False,
+                failed_request=True,
+            )
+        self._decisions.append(decision)
+        return decision
+
+    def resolve_session_conflict(self, now: float, conflict: str) -> ArbitrationDecision:
+        """Same trade-off for session guarantees vs. availability."""
+        availability_first = self.spec.prefers(Axis.AVAILABILITY, Axis.SESSION)
+        if availability_first:
+            decision = ArbitrationDecision(
+                time=now,
+                conflict=conflict,
+                winner=Axis.AVAILABILITY,
+                loser=Axis.SESSION,
+                served_stale=True,
+                failed_request=False,
+            )
+        else:
+            decision = ArbitrationDecision(
+                time=now,
+                conflict=conflict,
+                winner=Axis.SESSION,
+                loser=Axis.AVAILABILITY,
+                served_stale=False,
+                failed_request=True,
+            )
+        self._decisions.append(decision)
+        return decision
+
+    # ---------------------------------------------------------------- reporting
+
+    def decisions(self) -> List[ArbitrationDecision]:
+        """Every conflict resolved so far, in time order."""
+        return list(self._decisions)
+
+    def stale_serves(self) -> int:
+        """How many conflicts were resolved by serving stale data."""
+        return sum(1 for d in self._decisions if d.served_stale)
+
+    def failed_requests(self) -> int:
+        """How many conflicts were resolved by failing the request."""
+        return sum(1 for d in self._decisions if d.failed_request)

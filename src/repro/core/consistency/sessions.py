@@ -1,0 +1,105 @@
+"""Session guarantees: read-your-writes and monotonic reads.
+
+A :class:`Session` remembers which versions the caller has written and seen.
+The engine's read path asks the session whether a value fetched from a
+replica is acceptable; if not, the read is retried at the primary (paying the
+latency) — the standard implementation of these guarantees over lazy
+replication.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.core.consistency.spec import SessionGuarantee
+from repro.storage.records import Key, VersionedValue
+
+
+@dataclass
+class SessionStats:
+    """How often each guarantee forced a primary re-read (anomaly prevented)."""
+
+    reads: int = 0
+    writes: int = 0
+    ryw_fallbacks: int = 0
+    monotonic_fallbacks: int = 0
+
+
+class Session:
+    """One client session's write/read history."""
+
+    def __init__(self, session_id: str, guarantee: SessionGuarantee) -> None:
+        self.session_id = session_id
+        self.guarantee = guarantee
+        self._last_written_version: Dict[Tuple[str, Key], int] = {}
+        self._last_seen_version: Dict[Tuple[str, Key], int] = {}
+        self.stats = SessionStats()
+
+    # ------------------------------------------------------------------- writes
+
+    def note_write(self, namespace: str, key: Key, value: VersionedValue) -> None:
+        """Record that this session wrote ``value`` (its version matters)."""
+        self.stats.writes += 1
+        self._last_written_version[(namespace, key)] = value.version
+
+    # -------------------------------------------------------------------- reads
+
+    def acceptable(self, namespace: str, key: Key, value: Optional[VersionedValue]) -> bool:
+        """Is a replica-read result consistent with this session's history?
+
+        A missing value (None) is unacceptable if the session wrote the key or
+        has previously seen it — the replica simply has not caught up.
+        """
+        identity = (namespace, key)
+        observed_version = value.version if value is not None else 0
+        if self.guarantee.read_your_writes:
+            written = self._last_written_version.get(identity, 0)
+            if observed_version < written:
+                self.stats.ryw_fallbacks += 1
+                return False
+        if self.guarantee.monotonic_reads:
+            seen = self._last_seen_version.get(identity, 0)
+            if observed_version < seen:
+                self.stats.monotonic_fallbacks += 1
+                return False
+        return True
+
+    def note_read(self, namespace: str, key: Key, value: Optional[VersionedValue]) -> None:
+        """Record what the session ended up observing (for monotonic reads)."""
+        self.stats.reads += 1
+        if value is None:
+            return
+        identity = (namespace, key)
+        current = self._last_seen_version.get(identity, 0)
+        if value.version > current:
+            self._last_seen_version[identity] = value.version
+
+
+class SessionManager:
+    """Creates and tracks sessions; hands the engine the per-caller state."""
+
+    def __init__(self, default_guarantee: Optional[SessionGuarantee] = None) -> None:
+        self._default_guarantee = default_guarantee or SessionGuarantee()
+        self._sessions: Dict[str, Session] = {}
+
+    def open(self, session_id: str, guarantee: Optional[SessionGuarantee] = None) -> Session:
+        """Open (or return the existing) session with the given id."""
+        if session_id not in self._sessions:
+            self._sessions[session_id] = Session(
+                session_id, guarantee or self._default_guarantee
+            )
+        return self._sessions[session_id]
+
+    def get(self, session_id: str) -> Optional[Session]:
+        return self._sessions.get(session_id)
+
+    def session_count(self) -> int:
+        return len(self._sessions)
+
+    def total_fallbacks(self) -> int:
+        """Primary re-reads forced by session guarantees across all sessions."""
+        return sum(
+            s.stats.ryw_fallbacks + s.stats.monotonic_fallbacks
+            for s in self._sessions.values()
+        )

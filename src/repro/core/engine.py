@@ -1,0 +1,558 @@
+"""The public SCADS engine.
+
+:class:`Scads` is what an application developer sees: declare entities and
+relationships, register query templates (which are admitted or rejected at
+declaration time), read and write entities, run queries, and let the system
+worry about indexes, consistency, and capacity.
+
+Internally the engine wires together every substrate in the repository:
+
+* entity and index data live on the simulated elastic cluster
+  (:mod:`repro.storage`) behind the request router,
+* admitted query templates are compiled to pre-computed indexes whose
+  maintenance is performed asynchronously in deadline order
+  (:mod:`repro.core.index`),
+* the declarative :class:`~repro.core.consistency.ConsistencySpec` governs
+  write quorums, staleness checks, session guarantees, and partition
+  arbitration on every operation, and
+* the provisioning feedback loop (:mod:`repro.core.provisioning`) watches SLA
+  attainment and rents/releases utility-computing instances
+  (:mod:`repro.cloud`) to keep the SLAs met at minimum cost.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.cloud.instances import INSTANCE_TYPES, InstanceType
+from repro.cloud.pool import InstancePool
+from repro.core.consistency.arbitration import Arbitrator
+from repro.core.consistency.sessions import Session, SessionManager
+from repro.core.consistency.spec import (
+    ConsistencySpec,
+    PerformanceSLA,
+    SessionGuarantee,
+)
+from repro.core.consistency.writes import ConflictResolver
+from repro.core.index.maintenance import EntityWrite, IndexMaintainer
+from repro.core.index.updater import AsyncIndexUpdater
+from repro.core.provisioning.controller import ProvisioningController
+from repro.core.provisioning.monitor import SLAMonitor
+from repro.core.provisioning.planner import CapacityPlanner
+from repro.core.query.analyzer import QueryAnalyzer
+from repro.core.query.compiler import QueryCompiler
+from repro.core.query.executor import QueryExecutor, QueryResult
+from repro.core.query.parser import parse_query
+from repro.core.query.plans import (
+    CompiledQuery,
+    MaintenanceRule,
+    entity_namespace,
+    reverse_index_namespace,
+)
+from repro.core.schema import EntitySchema, Relationship, SchemaRegistry
+from repro.metrics.percentiles import LatencyRecorder
+from repro.metrics.sla import SLATracker
+from repro.ml.forecaster import WorkloadForecaster
+from repro.ml.performance_model import LatencyPercentileModel, PropagationLagModel
+from repro.sim.simulator import Simulator
+from repro.storage.cluster import Cluster
+from repro.storage.durability import DurabilityModel
+from repro.storage.records import Key, KeyRange, prefix_range
+from repro.storage.router import RequestResult, Router
+
+
+@dataclass
+class OperationOutcome:
+    """What one engine-level operation returned and what it cost."""
+
+    success: bool
+    latency: float
+    row: Optional[Dict[str, Any]] = None
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    stale: bool = False
+    error: Optional[str] = None
+
+
+class _RouterStorageAdapter:
+    """StorageAdapter implementation backed by the request router.
+
+    Index maintenance traffic flows through the same router (and therefore the
+    same simulated nodes) as client traffic, so maintenance genuinely competes
+    for capacity — which is what makes write-heavy spikes hard, per the paper.
+    """
+
+    def __init__(self, engine: "Scads") -> None:
+        self._engine = engine
+
+    def entity_rows_by_prefix(self, entity: str, prefix: Key) -> List[Dict[str, Any]]:
+        namespace = entity_namespace(entity)
+        result = self._engine.router.read_range(prefix_range(namespace, prefix),
+                                                from_primary=True)
+        if not result.success:
+            return []
+        return [dict(value.value) for _, value in result.rows if isinstance(value.value, dict)]
+
+    def entity_row(self, entity: str, key: Key) -> Optional[Dict[str, Any]]:
+        namespace = entity_namespace(entity)
+        result = self._engine.router.read(namespace, key, from_primary=True)
+        if not result.success or result.value is None:
+            return None
+        value = result.value.value
+        return dict(value) if isinstance(value, dict) else None
+
+    def reverse_keys(self, reverse_index: str, value: Any) -> List[Key]:
+        namespace = reverse_index_namespace(reverse_index)
+        result = self._engine.router.read_range(prefix_range(namespace, (value,)),
+                                                from_primary=True)
+        if not result.success:
+            return []
+        return [key[1:] for key, _ in result.rows]
+
+    def adjust_index_support(self, namespace: str, key: Key, delta: int) -> None:
+        current = self._engine.router.read(namespace, key, from_primary=True)
+        support = 0
+        if current.success and current.value is not None and isinstance(current.value.value, dict):
+            support = int(current.value.value.get("support", 0))
+        new_support = support + delta
+        if new_support <= 0:
+            self._engine.router.delete(namespace, key, writer="index-maintenance")
+        else:
+            self._engine.router.write(namespace, key, {"support": new_support},
+                                      writer="index-maintenance")
+
+    def put_reverse_entry(self, namespace: str, key: Key) -> None:
+        self._engine.router.write(namespace, key, {}, writer="index-maintenance")
+
+    def delete_reverse_entry(self, namespace: str, key: Key) -> None:
+        self._engine.router.delete(namespace, key, writer="index-maintenance")
+
+
+class Scads:
+    """Scale-independent storage for social computing applications.
+
+    Args:
+        seed: seed for every random stream in the simulation.
+        consistency: the declarative consistency/performance specification.
+        instance_type: utility-computing machine class used for storage nodes.
+        replication_factor: nodes per replica group; if None it is derived
+            from the durability SLA and the node failure model.
+        initial_groups: replica groups provisioned before any load arrives.
+        autoscale: whether the provisioning feedback loop runs.
+        predictive_scaling: use the ML forecast (True) or only the current
+            observation (False — the reactive-scaler ablation).
+        control_interval: seconds between provisioning-loop iterations.
+        max_instances: hard cap on rented instances.
+        max_read_work / max_update_work: query-admission caps (the K's).
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        consistency: Optional[ConsistencySpec] = None,
+        instance_type: InstanceType = INSTANCE_TYPES["m1.small"],
+        replication_factor: Optional[int] = None,
+        initial_groups: int = 2,
+        autoscale: bool = True,
+        predictive_scaling: bool = True,
+        control_interval: float = 60.0,
+        max_instances: int = 10_000,
+        max_read_work: int = 10_000,
+        max_update_work: int = 50_000,
+        node_mttf_hours: float = 4380.0,
+        updates_per_second_per_node: float = 200.0,
+        fifo_updates: bool = False,
+        min_groups: int = 1,
+    ) -> None:
+        self.spec = consistency or ConsistencySpec()
+        self.sim = Simulator(seed=seed)
+        self.durability_model = DurabilityModel(node_mttf_hours=node_mttf_hours)
+        if replication_factor is None:
+            replication_factor = self.durability_model.required_replication_factor(
+                self.spec.durability.probability,
+                self.spec.durability.horizon_hours,
+            )
+        self.replication_factor = replication_factor
+        self.cluster = Cluster(
+            simulator=self.sim,
+            replication_factor=replication_factor,
+            initial_groups=initial_groups,
+            node_capacity_ops=instance_type.capacity_ops_per_sec,
+        )
+        self.router = Router(self.cluster)
+        self.pool = InstancePool(self.sim, instance_type=instance_type,
+                                 max_instances=max_instances)
+        self.registry = SchemaRegistry()
+        self.analyzer = QueryAnalyzer(self.registry, max_read_work=max_read_work,
+                                      max_update_work=max_update_work)
+        self.compiler = QueryCompiler()
+        self._adapter = _RouterStorageAdapter(self)
+        self.maintainer = IndexMaintainer(self.registry, self._adapter)
+        self.updater = AsyncIndexUpdater(
+            simulator=self.sim,
+            maintainer=self.maintainer,
+            node_count_fn=lambda: self.cluster.node_count(),
+            updates_per_second_per_node=updates_per_second_per_node,
+            default_staleness_bound=self.spec.read.staleness_bound,
+            fifo=fifo_updates,
+        )
+        self.sessions = SessionManager(default_guarantee=self.spec.session)
+        self.resolver = ConflictResolver(self.spec.write, replication_factor)
+        self.arbitrator = Arbitrator(self.spec)
+        self.latencies = LatencyRecorder()
+        self.slas: Dict[str, PerformanceSLA] = {
+            "read": PerformanceSLA(
+                percentile=self.spec.performance.percentile,
+                latency=self.spec.performance.latency,
+                availability=self.spec.performance.availability,
+                op_type="read",
+            ),
+            "write": PerformanceSLA(
+                percentile=self.spec.performance.percentile,
+                latency=self.spec.performance.latency,
+                availability=self.spec.performance.availability,
+                op_type="write",
+            ),
+        }
+        self._trackers: Dict[str, SLATracker] = {
+            op: SLATracker(op, sla.percentile, sla.latency, sla.availability)
+            for op, sla in self.slas.items()
+        }
+        self._op_counts: Dict[str, int] = {"read": 0, "write": 0}
+        self._queries: Dict[str, CompiledQuery] = {}
+        self._window_lag_max = 0.0
+        self.cluster.replication.add_lag_listener(self._on_replication_lag)
+
+        self.latency_model = LatencyPercentileModel(
+            base_service_time=0.004,
+            node_capacity_ops=instance_type.capacity_ops_per_sec,
+            percentile=self.spec.performance.percentile,
+        )
+        self.lag_model = PropagationLagModel()
+        self.forecaster = WorkloadForecaster()
+        self.monitor = SLAMonitor(
+            cluster=self.cluster,
+            stats_provider=self,
+            latency_model=self.latency_model,
+            lag_model=self.lag_model,
+            slas=self.slas,
+        )
+        self.planner = CapacityPlanner(
+            latency_model=self.latency_model,
+            lag_model=self.lag_model,
+            node_capacity_ops=instance_type.capacity_ops_per_sec,
+            min_nodes=max(min_groups, 1) * replication_factor,
+            max_nodes=max_instances,
+        )
+        self.autoscale = autoscale
+        self.controller = ProvisioningController(
+            simulator=self.sim,
+            cluster=self.cluster,
+            pool=self.pool,
+            monitor=self.monitor,
+            planner=self.planner,
+            forecaster=self.forecaster,
+            updater=self.updater,
+            slas=self.slas,
+            spec=self.spec,
+            control_interval=control_interval,
+            predictive=predictive_scaling,
+        )
+        self._started = False
+
+    # ----------------------------------------------------------------- lifecycle
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self.sim.now
+
+    def start(self) -> None:
+        """Start background activity: index maintenance and (optionally) autoscaling."""
+        if self._started:
+            return
+        self.updater.start()
+        if self.autoscale:
+            self.controller.start()
+        self._started = True
+
+    def run_for(self, seconds: float) -> float:
+        """Advance simulated time by ``seconds``, processing all scheduled events."""
+        if seconds < 0:
+            raise ValueError("seconds must be non-negative")
+        return self.sim.run_until(self.sim.now + seconds)
+
+    def flush_indexes(self) -> int:
+        """Synchronously drain the index-maintenance queue (tests and examples)."""
+        return self.updater.drain_now()
+
+    def settle(self, seconds: float = 2.0) -> None:
+        """Let in-flight replication and index maintenance finish.
+
+        Convenience for examples and tests that drive the API directly (rather
+        than through a load generator): advances simulated time so scheduled
+        replication applies, drains the maintenance queue, then advances time
+        again so the index writes themselves replicate.
+        """
+        if seconds <= 0:
+            raise ValueError("seconds must be positive")
+        self.run_for(seconds)
+        self.flush_indexes()
+        self.run_for(seconds)
+        self.cluster.decay_load()
+
+    # -------------------------------------------------------------------- schema
+
+    def register_entity(self, schema: EntitySchema) -> EntitySchema:
+        """Declare an entity set."""
+        return self.registry.register_entity(schema)
+
+    def register_relationship(self, relationship: Relationship) -> Relationship:
+        """Declare a bounded relationship between entity sets."""
+        return self.registry.register_relationship(relationship)
+
+    # ------------------------------------------------------------------- queries
+
+    def register_query(self, name: str, sql: str) -> CompiledQuery:
+        """Declare a query template; admitted templates get a maintained index.
+
+        Raises :class:`~repro.core.query.analyzer.QueryRejected` when the
+        template cannot be executed scale-independently, with the reason.
+        """
+        template = parse_query(sql)
+        analyzed = self.analyzer.analyze(template)
+        compiled = self.compiler.compile(name, analyzed)
+        self.maintainer.register(compiled)
+        self._queries[name] = compiled
+        return compiled
+
+    def query_names(self) -> List[str]:
+        return sorted(self._queries.keys())
+
+    def compiled_query(self, name: str) -> CompiledQuery:
+        if name not in self._queries:
+            raise KeyError(f"no query template registered under {name!r}")
+        return self._queries[name]
+
+    def maintenance_table(self) -> List[MaintenanceRule]:
+        """The Figure-3 table: every maintenance rule across registered queries."""
+        rules: List[MaintenanceRule] = []
+        for compiled in self._queries.values():
+            rules.extend(compiled.maintenance_rules)
+        return rules
+
+    # ------------------------------------------------------------------ sessions
+
+    def open_session(self, session_id: str,
+                     guarantee: Optional[SessionGuarantee] = None) -> Session:
+        """Open a client session (needed for the session-guarantee axes)."""
+        return self.sessions.open(session_id, guarantee)
+
+    # -------------------------------------------------------------------- writes
+
+    def put(self, entity: str, row: Dict[str, Any],
+            session_id: Optional[str] = None) -> OperationOutcome:
+        """Insert or update one entity row, honouring the write-consistency axis."""
+        schema = self.registry.entity(entity)
+        schema.validate_row(row)
+        key = schema.storage_key(row)
+        namespace = entity_namespace(entity)
+        old_row = self._adapter.entity_row(entity, key)
+        resolved = self.resolver.resolve(old_row, row)
+        result = self.router.write(
+            namespace, key, resolved,
+            writer=session_id or "",
+            write_quorum=self.resolver.write_quorum(),
+        )
+        self._record_op("write", result.latency, result.success)
+        if not result.success:
+            return OperationOutcome(success=False, latency=result.latency, error=result.error)
+        self.updater.enqueue(
+            EntityWrite(entity=entity, old_row=old_row, new_row=resolved),
+            staleness_bound=self.spec.read.staleness_bound,
+        )
+        if session_id is not None and result.value is not None:
+            self.sessions.open(session_id).note_write(namespace, key, result.value)
+        return OperationOutcome(success=True, latency=result.latency, row=resolved)
+
+    def delete(self, entity: str, key: Tuple,
+               session_id: Optional[str] = None) -> OperationOutcome:
+        """Delete one entity row (and queue the index maintenance it implies)."""
+        schema = self.registry.entity(entity)
+        namespace = entity_namespace(entity)
+        old_row = self._adapter.entity_row(entity, key)
+        result = self.router.delete(namespace, key, writer=session_id or "")
+        self._record_op("write", result.latency, result.success)
+        if not result.success:
+            return OperationOutcome(success=False, latency=result.latency, error=result.error)
+        if old_row is not None:
+            self.updater.enqueue(
+                EntityWrite(entity=entity, old_row=old_row, new_row=None),
+                staleness_bound=self.spec.read.staleness_bound,
+            )
+        return OperationOutcome(success=True, latency=result.latency, row=old_row)
+
+    # --------------------------------------------------------------------- reads
+
+    def get(self, entity: str, key: Tuple,
+            session_id: Optional[str] = None) -> OperationOutcome:
+        """Read one entity row under the declared read-consistency and session axes."""
+        namespace = entity_namespace(entity)
+        session = self.sessions.get(session_id) if session_id is not None else None
+        value, latency, success, stale, error = self._consistent_read(namespace, key, session)
+        self._record_op("read", latency, success)
+        if not success:
+            return OperationOutcome(success=False, latency=latency, error=error, stale=stale)
+        row = dict(value.value) if value is not None and isinstance(value.value, dict) else None
+        return OperationOutcome(success=True, latency=latency, row=row, stale=stale)
+
+    def query(self, name: str, params: Dict[str, Any],
+              session_id: Optional[str] = None) -> QueryResult:
+        """Execute a registered query template with bound parameters."""
+        compiled = self.compiled_query(name)
+        session = self.sessions.get(session_id) if session_id is not None else None
+
+        def range_read(namespace, start, end, limit, reverse):
+            result = self.router.read_range(
+                KeyRange(namespace=namespace, start=start, end=end),
+                limit=limit, reverse=reverse,
+            )
+            if not result.success:
+                return [], result.latency
+            rows = [(key, value.value if isinstance(value.value, dict) else {})
+                    for key, value in result.rows]
+            return rows, result.latency
+
+        def entity_get(entity_name, key):
+            namespace = entity_namespace(entity_name)
+            value, latency, success, _, _ = self._consistent_read(namespace, key, session)
+            if not success or value is None or not isinstance(value.value, dict):
+                return None, latency
+            return dict(value.value), latency
+
+        executor = QueryExecutor(range_read, entity_get)
+        result = executor.execute(compiled.plan, params)
+        self._record_op("read", result.latency, True)
+        return result
+
+    # ------------------------------------------------------- consistency-aware read
+
+    def _consistent_read(
+        self,
+        namespace: str,
+        key: Key,
+        session: Optional[Session],
+    ):
+        """Replica read with staleness-bound and session-guarantee enforcement.
+
+        Returns (value, latency, success, stale, error).
+        """
+        result = self.router.read(namespace, key)
+        if not result.success:
+            return None, result.latency, False, False, result.error
+        value = result.value
+        latency = result.latency
+        stale = False
+
+        group = self.cluster.group_for_key(namespace, key)
+        primary_reachable = self.cluster.network.is_reachable("client", group.primary)
+
+        needs_primary = False
+        # Staleness bound: if the primary holds a newer version that has been
+        # committed for longer than the declared bound, the replica value is
+        # too stale to serve.
+        if primary_reachable:
+            primary_node = self.cluster.nodes.get(group.primary)
+            if primary_node is not None and primary_node.alive:
+                try:
+                    primary_value = primary_node.peek(namespace, key)
+                except Exception:  # NodeDownError
+                    primary_value = None
+                if primary_value is not None:
+                    replica_version = value.version if value is not None else 0
+                    age = self.sim.now - primary_value.timestamp
+                    if (primary_value.version > replica_version
+                            and age > self.spec.read.staleness_bound):
+                        needs_primary = True
+        else:
+            # Cannot verify the bound at all: availability vs. read consistency.
+            decision = self.arbitrator.resolve_read_conflict(
+                self.sim.now, "staleness_check_unreachable"
+            )
+            if decision.failed_request:
+                return None, latency, False, False, "read consistency prioritised over availability"
+            stale = True
+
+        # Session guarantees: the replica value must be at least as new as what
+        # this session wrote / has already seen.
+        if session is not None and not session.acceptable(namespace, key, value):
+            needs_primary = True
+
+        if needs_primary:
+            if primary_reachable:
+                primary_result = self.router.read(namespace, key, from_primary=True)
+                latency += primary_result.latency
+                if primary_result.success:
+                    value = primary_result.value
+                else:
+                    decision = self.arbitrator.resolve_read_conflict(
+                        self.sim.now, "primary_read_failed"
+                    )
+                    if decision.failed_request:
+                        return None, latency, False, False, primary_result.error
+                    stale = True
+            else:
+                decision = self.arbitrator.resolve_session_conflict(
+                    self.sim.now, "primary_unreachable_for_session_guarantee"
+                )
+                if decision.failed_request:
+                    return None, latency, False, False, "session guarantee unsatisfiable"
+                stale = True
+
+        if session is not None:
+            session.note_read(namespace, key, value)
+        return value, latency, True, stale, None
+
+    # --------------------------------------------------------- provider interface
+
+    def cumulative_operation_counts(self) -> Dict[str, int]:
+        """Cumulative read/write counts (WorkloadStatsProvider)."""
+        return dict(self._op_counts)
+
+    def sla_trackers(self) -> Dict[str, SLATracker]:
+        """Live SLA trackers (WorkloadStatsProvider)."""
+        return self._trackers
+
+    def pending_maintenance(self) -> int:
+        """Queued index-maintenance tasks (WorkloadStatsProvider)."""
+        return self.updater.pending_count()
+
+    def recent_max_propagation_lag(self) -> float:
+        """Max replication lag observed since the last call (WorkloadStatsProvider)."""
+        lag = self._window_lag_max
+        self._window_lag_max = 0.0
+        return lag
+
+    def _on_replication_lag(self, record) -> None:
+        if record.lag is not None:
+            self._window_lag_max = max(self._window_lag_max, record.lag)
+
+    def _record_op(self, op_type: str, latency: float, success: bool) -> None:
+        self._op_counts[op_type] = self._op_counts.get(op_type, 0) + 1
+        self._trackers[op_type].observe(latency if success else None, success)
+        if success:
+            self.latencies.record(op_type, latency)
+
+    # ----------------------------------------------------------------- reporting
+
+    def sla_report(self, op_type: str = "read"):
+        """Overall SLA attainment for one operation type."""
+        return self._trackers[op_type].overall_report()
+
+    def cost_so_far(self) -> float:
+        """Dollars spent on instances so far."""
+        return self.pool.total_cost()
+
+    def node_count(self) -> int:
+        return self.cluster.node_count()

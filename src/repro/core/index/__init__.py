@@ -1,0 +1,20 @@
+"""Index maintenance: the Figure-3 machinery.
+
+``maintenance`` computes, for one base-table write, the bounded set of index
+entries that must change (the paper's O(K) update functions).  ``updater``
+applies those changes asynchronously, ordered by the wall-clock consistency
+deadline each write carries — the priority-queue mechanism Section 3.3.2
+describes for enforcing declared staleness bounds.
+"""
+
+from repro.core.index.maintenance import EntityWrite, IndexMaintainer, StorageAdapter
+from repro.core.index.updater import AsyncIndexUpdater, UpdateTask, UpdaterStats
+
+__all__ = [
+    "IndexMaintainer",
+    "StorageAdapter",
+    "EntityWrite",
+    "AsyncIndexUpdater",
+    "UpdateTask",
+    "UpdaterStats",
+]

@@ -1,0 +1,22 @@
+"""The provisioning feedback loop (Figure 2).
+
+``monitor`` observes workload and SLA attainment window by window and trains
+the ML performance models; ``planner`` converts a forecast plus the declared
+SLAs into a target capacity; ``controller`` closes the loop by renting and
+releasing utility-computing instances and attaching them to the storage
+cluster as replica groups.
+"""
+
+from repro.core.provisioning.monitor import SLAMonitor, WindowObservation, WorkloadStatsProvider
+from repro.core.provisioning.planner import CapacityPlan, CapacityPlanner
+from repro.core.provisioning.controller import ProvisioningController, ScalingAction
+
+__all__ = [
+    "SLAMonitor",
+    "WindowObservation",
+    "WorkloadStatsProvider",
+    "CapacityPlanner",
+    "CapacityPlan",
+    "ProvisioningController",
+    "ScalingAction",
+]

@@ -1,0 +1,256 @@
+"""The scale-up/scale-down controller: the acting half of Figure 2's loop.
+
+Every control interval the controller
+
+1. asks the monitor to close an observation window (which also trains the
+   ML models),
+2. feeds the observed rate to the workload forecaster and asks it for the
+   rate one provisioning lead time ahead (instance boot + data movement),
+3. asks the planner for the target node count, and
+4. rents or releases instances to move the cluster toward the target,
+   attaching new machines as whole replica groups so the durability SLA's
+   replication factor is never violated mid-scale.
+
+Scale-down is deliberately conservative (sustained low demand over several
+windows, at most one group per interval) because removing capacity is cheap
+to defer and expensive to get wrong — the asymmetry the paper's economics
+argument relies on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cloud.pool import InstancePool
+from repro.core.index.updater import AsyncIndexUpdater
+from repro.core.provisioning.monitor import SLAMonitor, WindowObservation
+from repro.core.provisioning.planner import CapacityPlan, CapacityPlanner
+from repro.core.consistency.spec import ConsistencySpec, PerformanceSLA
+from repro.metrics.timeseries import TimeSeriesRecorder
+from repro.ml.forecaster import WorkloadForecaster
+from repro.sim.simulator import Simulator
+from repro.storage.cluster import Cluster
+
+
+@dataclass
+class ScalingAction:
+    """One scale-up or scale-down decision, for experiment reporting."""
+
+    time: float
+    kind: str  # "scale_up", "scale_down", "hold"
+    groups_before: int
+    groups_after: int
+    target_nodes: int
+    forecast_rate: float
+    reason: str
+
+
+class ProvisioningController:
+    """Closed-loop, model-driven provisioning of the storage cluster."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        cluster: Cluster,
+        pool: InstancePool,
+        monitor: SLAMonitor,
+        planner: CapacityPlanner,
+        forecaster: WorkloadForecaster,
+        updater: Optional[AsyncIndexUpdater],
+        slas: Dict[str, PerformanceSLA],
+        spec: ConsistencySpec,
+        control_interval: float = 60.0,
+        provisioning_lead_time: Optional[float] = None,
+        scale_down_patience: int = 5,
+        max_groups_per_step: int = 50,
+        predictive: bool = True,
+    ) -> None:
+        if control_interval <= 0:
+            raise ValueError("control_interval must be positive")
+        if scale_down_patience < 1:
+            raise ValueError("scale_down_patience must be >= 1")
+        if max_groups_per_step < 1:
+            raise ValueError("max_groups_per_step must be >= 1")
+        self._sim = simulator
+        self._cluster = cluster
+        self._pool = pool
+        self._monitor = monitor
+        self._planner = planner
+        self._forecaster = forecaster
+        self._updater = updater
+        self._slas = dict(slas)
+        self._spec = spec
+        self.control_interval = control_interval
+        boot_delay = pool.instance_type.boot_delay
+        self.provisioning_lead_time = (
+            provisioning_lead_time
+            if provisioning_lead_time is not None
+            else boot_delay + 2.0 * control_interval
+        )
+        self.scale_down_patience = scale_down_patience
+        self.max_groups_per_step = max_groups_per_step
+        self.predictive = predictive
+        self._group_instances: Dict[str, List[str]] = {}
+        self._pending_groups = 0
+        self._low_demand_windows = 0
+        self._actions: List[ScalingAction] = []
+        self._series = TimeSeriesRecorder()
+        self._cancel_loop = None
+        self._adopt_existing_groups()
+
+    # -------------------------------------------------------------------- setup
+
+    def _adopt_existing_groups(self) -> None:
+        """Open leases for the replica groups the cluster already has."""
+        for group_id, group in self._cluster.groups.items():
+            instances = self._pool.launch(
+                count=len(group.node_ids), boot_delay_override=0.0
+            )
+            self._group_instances[group_id] = [i.instance_id for i in instances]
+
+    def start(self) -> None:
+        """Begin the periodic control loop (idempotent)."""
+        if self._cancel_loop is None:
+            self._cancel_loop = self._sim.schedule_periodic(
+                self.control_interval, self.control_step, name="provisioning-loop"
+            )
+
+    def stop(self) -> None:
+        if self._cancel_loop is not None:
+            self._cancel_loop()
+            self._cancel_loop = None
+
+    # ------------------------------------------------------------------ the loop
+
+    def control_step(self) -> ScalingAction:
+        """One pass of the feedback loop (observe -> forecast -> plan -> act)."""
+        now = self._sim.now
+        observation = self._monitor.close_window(now)
+        self._forecaster.observe(now, observation.request_rate)
+        if self.predictive:
+            forecast = self._forecaster.forecast(self.provisioning_lead_time)
+            # Never plan below what we are already seeing: the forecast hedges
+            # the future, it must not talk us into ignoring the present.
+            forecast = max(forecast, observation.request_rate)
+        else:
+            forecast = observation.request_rate
+        behind = self._updater.behind_schedule(margin=self.control_interval) \
+            if self._updater is not None else False
+        plan = self._planner.plan(
+            forecast_rate=forecast,
+            write_fraction=observation.write_fraction,
+            slas=self._slas,
+            spec=self._spec,
+            pending_maintenance=observation.pending_maintenance,
+            behind_schedule=behind,
+        )
+        action = self._act(plan, observation)
+        self._record(now, observation, plan, action)
+        return action
+
+    def _act(self, plan: CapacityPlan, observation: WindowObservation) -> ScalingAction:
+        replication = self._cluster.replication_factor
+        target_groups = max(int(math.ceil(plan.target_nodes / replication)), 1)
+        current_groups = self._cluster.group_count()
+        effective_current = current_groups + self._pending_groups
+        now = self._sim.now
+        if target_groups > effective_current:
+            to_add = min(target_groups - effective_current, self.max_groups_per_step)
+            for _ in range(to_add):
+                self._launch_group()
+            self._low_demand_windows = 0
+            return ScalingAction(
+                time=now, kind="scale_up",
+                groups_before=current_groups,
+                groups_after=current_groups + self._pending_groups,
+                target_nodes=plan.target_nodes,
+                forecast_rate=plan.forecast_rate,
+                reason=plan.reason,
+            )
+        if target_groups < current_groups and self._pending_groups == 0:
+            self._low_demand_windows += 1
+            if self._low_demand_windows >= self.scale_down_patience and current_groups > 1:
+                removed = self._remove_one_group()
+                if removed:
+                    return ScalingAction(
+                        time=now, kind="scale_down",
+                        groups_before=current_groups,
+                        groups_after=current_groups - 1,
+                        target_nodes=plan.target_nodes,
+                        forecast_rate=plan.forecast_rate,
+                        reason=f"{plan.reason}; sustained low demand "
+                               f"({self._low_demand_windows} windows)",
+                    )
+        else:
+            self._low_demand_windows = 0
+        return ScalingAction(
+            time=now, kind="hold",
+            groups_before=current_groups,
+            groups_after=current_groups,
+            target_nodes=plan.target_nodes,
+            forecast_rate=plan.forecast_rate,
+            reason=plan.reason,
+        )
+
+    # ----------------------------------------------------------------- scaling up
+
+    def _launch_group(self) -> None:
+        """Rent one replica group's worth of instances; attach when all boot."""
+        replication = self._cluster.replication_factor
+        self._pending_groups += 1
+        ready_instances: List[str] = []
+
+        def on_ready(instance) -> None:
+            ready_instances.append(instance.instance_id)
+            if len(ready_instances) == replication:
+                group = self._cluster.add_replica_group()
+                self._group_instances[group.group_id] = list(ready_instances)
+                self._pending_groups -= 1
+
+        self._pool.launch(count=replication, on_ready=on_ready)
+
+    # --------------------------------------------------------------- scaling down
+
+    def _remove_one_group(self) -> bool:
+        """Decommission the most recently added replica group and its instances."""
+        removable = [gid for gid in self._cluster.groups if gid in self._group_instances]
+        if len(removable) <= 1:
+            return False
+        group_id = removable[-1]
+        self._cluster.remove_replica_group(group_id)
+        for instance_id in self._group_instances.pop(group_id, []):
+            self._pool.terminate(instance_id)
+        self._low_demand_windows = 0
+        return True
+
+    # ---------------------------------------------------------------- reporting
+
+    def _record(
+        self,
+        now: float,
+        observation: WindowObservation,
+        plan: CapacityPlan,
+        action: ScalingAction,
+    ) -> None:
+        self._actions.append(action)
+        self._series.record("observed_rate", now, observation.request_rate)
+        self._series.record("forecast_rate", now, plan.forecast_rate)
+        self._series.record("target_nodes", now, plan.target_nodes)
+        self._series.record("nodes", now, self._cluster.node_count())
+        self._series.record("groups", now, self._cluster.group_count())
+        self._series.record("pending_maintenance", now, observation.pending_maintenance)
+
+    def actions(self) -> List[ScalingAction]:
+        return list(self._actions)
+
+    def series(self) -> TimeSeriesRecorder:
+        """Time series of everything the controller observed and decided."""
+        return self._series
+
+    def scale_up_count(self) -> int:
+        return sum(1 for a in self._actions if a.kind == "scale_up")
+
+    def scale_down_count(self) -> int:
+        return sum(1 for a in self._actions if a.kind == "scale_down")

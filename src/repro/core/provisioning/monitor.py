@@ -1,0 +1,147 @@
+"""Workload and SLA monitoring: the observation half of the feedback loop.
+
+Every control interval the monitor closes a window: it measures the request
+rate and write fraction, the cluster's load statistics, the pending
+maintenance backlog, and each SLA's attainment over the window, then feeds
+those observations into the ML performance models.  The resulting
+:class:`WindowObservation` is what the planner and controller act on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Protocol
+
+from repro.core.consistency.spec import PerformanceSLA
+from repro.metrics.sla import SLAReport, SLATracker
+from repro.ml.features import FeatureExtractor, WorkloadFeatures
+from repro.ml.performance_model import LatencyPercentileModel, PropagationLagModel
+from repro.storage.cluster import Cluster
+
+
+class WorkloadStatsProvider(Protocol):
+    """What the monitor needs from the serving engine."""
+
+    def cumulative_operation_counts(self) -> Dict[str, int]:
+        """Cumulative counts since start, keyed 'read' / 'write' (at least)."""
+
+    def sla_trackers(self) -> Dict[str, SLATracker]:
+        """The live SLA trackers, keyed by operation type."""
+
+    def pending_maintenance(self) -> int:
+        """Queued asynchronous index-maintenance tasks right now."""
+
+    def recent_max_propagation_lag(self) -> float:
+        """Largest replication/index propagation lag observed recently (seconds)."""
+
+
+@dataclass
+class WindowObservation:
+    """Everything measured over one closed control window."""
+
+    time: float
+    duration: float
+    request_rate: float
+    write_fraction: float
+    features: WorkloadFeatures
+    sla_reports: Dict[str, SLAReport] = field(default_factory=dict)
+    pending_maintenance: int = 0
+    max_propagation_lag: float = 0.0
+
+    def any_sla_violated(self) -> bool:
+        return any(not report.satisfied for report in self.sla_reports.values())
+
+
+class SLAMonitor:
+    """Closes observation windows and trains the performance models."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        stats_provider: WorkloadStatsProvider,
+        latency_model: LatencyPercentileModel,
+        lag_model: PropagationLagModel,
+        slas: Dict[str, PerformanceSLA],
+    ) -> None:
+        self._cluster = cluster
+        self._provider = stats_provider
+        self._latency_model = latency_model
+        self._lag_model = lag_model
+        self._slas = dict(slas)
+        self._extractor = FeatureExtractor()
+        self._last_counts: Dict[str, int] = {}
+        self._last_time: Optional[float] = None
+        self._observations: List[WindowObservation] = []
+
+    # ------------------------------------------------------------------ windows
+
+    def close_window(self, now: float) -> WindowObservation:
+        """Measure everything since the previous window close and train models."""
+        counts = self._provider.cumulative_operation_counts()
+        previous = self._last_counts or {key: 0 for key in counts}
+        window_counts = {key: counts.get(key, 0) - previous.get(key, 0) for key in counts}
+        duration = now - self._last_time if self._last_time is not None else 0.0
+        self._last_counts = dict(counts)
+        self._last_time = now
+
+        total_ops = sum(max(v, 0) for v in window_counts.values())
+        writes = max(window_counts.get("write", 0), 0)
+        request_rate = total_ops / duration if duration > 0 else 0.0
+        write_fraction = writes / total_ops if total_ops > 0 else 0.0
+
+        self._cluster.decay_load()
+        stats = self._cluster.stats()
+        pending = self._provider.pending_maintenance()
+        features = self._extractor.extract(
+            request_rate=request_rate,
+            write_fraction=write_fraction,
+            node_count=max(stats.node_count, 1),
+            mean_utilisation=stats.mean_utilisation,
+            max_utilisation=stats.max_utilisation,
+            pending_updates=pending,
+        )
+
+        reports: Dict[str, SLAReport] = {}
+        for op_type, tracker in self._provider.sla_trackers().items():
+            reports[op_type] = tracker.close_window()
+
+        max_lag = self._provider.recent_max_propagation_lag()
+        observation = WindowObservation(
+            time=now,
+            duration=duration,
+            request_rate=request_rate,
+            write_fraction=write_fraction,
+            features=features,
+            sla_reports=reports,
+            pending_maintenance=pending,
+            max_propagation_lag=max_lag,
+        )
+        self._train(observation)
+        self._observations.append(observation)
+        return observation
+
+    def _train(self, observation: WindowObservation) -> None:
+        """Feed the window into the latency and propagation models."""
+        if observation.request_rate <= 0:
+            return
+        # Train the latency model on the op type the primary SLA cares about
+        # (reads by default), falling back to any op type with traffic.
+        for op_type, sla in self._slas.items():
+            report = observation.sla_reports.get(op_type)
+            if report is None or report.request_count == 0:
+                continue
+            self._latency_model.observe(observation.features, report.observed_percentile_latency)
+        self._lag_model.observe(
+            pending_updates=observation.pending_maintenance,
+            per_node_rate=observation.features.per_node_rate,
+            observed_lag=observation.max_propagation_lag,
+        )
+
+    # ---------------------------------------------------------------- reporting
+
+    def observations(self) -> List[WindowObservation]:
+        return list(self._observations)
+
+    def violation_windows(self) -> int:
+        """Number of closed windows in which at least one SLA was violated."""
+        return sum(1 for obs in self._observations if obs.any_sla_violated())

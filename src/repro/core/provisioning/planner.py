@@ -1,0 +1,131 @@
+"""Capacity planning: forecast + models + SLAs -> target node count.
+
+The planner is deliberately a pure function of its inputs so it can be unit
+tested without a simulator: give it a forecast rate, the trained models, and
+the declared SLAs, and it returns how many storage nodes the cluster should
+have.  The controller is the piece that turns that number into rent/release
+actions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.consistency.spec import ConsistencySpec, PerformanceSLA
+from repro.ml.performance_model import LatencyPercentileModel, PropagationLagModel
+
+
+@dataclass
+class CapacityPlan:
+    """The planner's output for one control interval."""
+
+    target_nodes: int
+    forecast_rate: float
+    latency_required_nodes: int
+    utilisation_required_nodes: int
+    staleness_pressure: bool
+    reason: str
+
+    def describe(self) -> str:
+        return (
+            f"target={self.target_nodes} nodes (forecast {self.forecast_rate:.0f} ops/s; "
+            f"latency needs {self.latency_required_nodes}, utilisation needs "
+            f"{self.utilisation_required_nodes}, staleness pressure={self.staleness_pressure}) "
+            f"— {self.reason}"
+        )
+
+
+class CapacityPlanner:
+    """Chooses a target node count that meets every declared requirement.
+
+    Args:
+        latency_model: trained (or prior-driven) percentile latency model.
+        lag_model: trained (or prior-driven) propagation lag model.
+        node_capacity_ops: per-node sustainable ops/sec.
+        target_utilisation: utilisation ceiling the plan aims for even when
+            the latency model is optimistic (defence in depth).
+        min_nodes: never plan below this many nodes (replication needs).
+        max_nodes: hard cap (the pool's size, or a budget cap).
+        staleness_scale_factor: extra capacity multiplier applied when the
+            update queue is predicted to endanger the staleness bound.
+    """
+
+    def __init__(
+        self,
+        latency_model: LatencyPercentileModel,
+        lag_model: PropagationLagModel,
+        node_capacity_ops: float,
+        target_utilisation: float = 0.6,
+        min_nodes: int = 2,
+        max_nodes: int = 10_000,
+        staleness_scale_factor: float = 1.25,
+    ) -> None:
+        if not 0.0 < target_utilisation < 1.0:
+            raise ValueError("target_utilisation must be in (0, 1)")
+        if min_nodes < 1 or max_nodes < min_nodes:
+            raise ValueError("need 1 <= min_nodes <= max_nodes")
+        if node_capacity_ops <= 0:
+            raise ValueError("node_capacity_ops must be positive")
+        if staleness_scale_factor < 1.0:
+            raise ValueError("staleness_scale_factor must be >= 1")
+        self.latency_model = latency_model
+        self.lag_model = lag_model
+        self.node_capacity_ops = node_capacity_ops
+        self.target_utilisation = target_utilisation
+        self.min_nodes = min_nodes
+        self.max_nodes = max_nodes
+        self.staleness_scale_factor = staleness_scale_factor
+
+    def plan(
+        self,
+        forecast_rate: float,
+        write_fraction: float,
+        slas: Dict[str, PerformanceSLA],
+        spec: ConsistencySpec,
+        pending_maintenance: int = 0,
+        behind_schedule: bool = False,
+    ) -> CapacityPlan:
+        """Compute the target node count for the forecast workload."""
+        if forecast_rate < 0:
+            raise ValueError("forecast_rate must be non-negative")
+        # Latency requirement: the strictest SLA wins.
+        latency_nodes = self.min_nodes
+        for sla in slas.values():
+            needed = self.latency_model.required_nodes(
+                predicted_rate=forecast_rate,
+                write_fraction=write_fraction,
+                target_latency=sla.latency,
+                max_nodes=self.max_nodes,
+                pending_updates=pending_maintenance,
+            )
+            latency_nodes = max(latency_nodes, needed)
+        # Utilisation requirement: never plan to run nodes hotter than the ceiling.
+        utilisation_nodes = max(
+            int(math.ceil(forecast_rate / (self.node_capacity_ops * self.target_utilisation))),
+            self.min_nodes,
+        )
+        target = max(latency_nodes, utilisation_nodes)
+        # Staleness pressure: the update queue is (predicted to be) in danger of
+        # missing the declared bound, so add headroom for maintenance throughput.
+        per_node_rate = forecast_rate / max(target, 1)
+        staleness_pressure = behind_schedule or self.lag_model.danger(
+            pending_updates=pending_maintenance,
+            per_node_rate=per_node_rate,
+            staleness_bound=spec.read.staleness_bound,
+        )
+        if staleness_pressure:
+            target = int(math.ceil(target * self.staleness_scale_factor))
+        target = min(max(target, self.min_nodes), self.max_nodes)
+        reason = "latency model" if latency_nodes >= utilisation_nodes else "utilisation ceiling"
+        if staleness_pressure:
+            reason += " + staleness headroom"
+        return CapacityPlan(
+            target_nodes=target,
+            forecast_rate=forecast_rate,
+            latency_required_nodes=latency_nodes,
+            utilisation_required_nodes=utilisation_nodes,
+            staleness_pressure=staleness_pressure,
+            reason=reason,
+        )

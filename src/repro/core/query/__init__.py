@@ -1,0 +1,65 @@
+"""The performance-safe query language.
+
+Developers declare query *templates* ahead of time in a restricted subset of
+SQL.  The pipeline is::
+
+    SQL text --lexer/parser--> QueryTemplate (AST)
+             --analyzer-->     AnalyzedQuery (or QueryRejected)
+             --compiler-->     CompiledQuery: IndexSpec + QueryPlan
+                               + maintenance rules (the Figure-3 table)
+
+Only templates whose execution cost and maintenance cost are provably bounded
+by application constants are admitted; everything else is rejected at
+declaration time with a machine-readable reason.
+"""
+
+from repro.core.query.ast import (
+    ColumnRef,
+    JoinClause,
+    Literal,
+    OrderBy,
+    Parameter,
+    Predicate,
+    QueryTemplate,
+    SelectItem,
+)
+from repro.core.query.lexer import Token, TokenType, tokenize
+from repro.core.query.parser import ParseError, parse_query
+from repro.core.query.analyzer import (
+    AnalyzedQuery,
+    ChainStep,
+    QueryAnalyzer,
+    QueryRejected,
+    RejectionReason,
+)
+from repro.core.query.compiler import CompiledQuery, QueryCompiler
+from repro.core.query.plans import IndexSpec, MaintenanceRule, QueryPlan
+from repro.core.query.executor import QueryExecutor, QueryResult
+
+__all__ = [
+    "tokenize",
+    "Token",
+    "TokenType",
+    "parse_query",
+    "ParseError",
+    "ColumnRef",
+    "Parameter",
+    "Literal",
+    "Predicate",
+    "JoinClause",
+    "OrderBy",
+    "SelectItem",
+    "QueryTemplate",
+    "QueryAnalyzer",
+    "AnalyzedQuery",
+    "ChainStep",
+    "QueryRejected",
+    "RejectionReason",
+    "QueryCompiler",
+    "CompiledQuery",
+    "IndexSpec",
+    "QueryPlan",
+    "MaintenanceRule",
+    "QueryExecutor",
+    "QueryResult",
+]

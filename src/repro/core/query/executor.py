@@ -1,0 +1,129 @@
+"""Execution of compiled query plans.
+
+A plan executes as exactly one bounded contiguous range read of its index
+(Section 3.1's guarantee) followed by at most ``limit``/``result_bound``
+pointer dereferences of the final entity.  The executor is storage-agnostic:
+it is handed two callables by the engine, so the same code runs against the
+consistency-aware read path, the quorum baseline, or a plain dict in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.query.plans import PrefixComponent, QueryPlan, RangeBound
+from repro.storage.records import Key, KeyRange, key_part_successor, prefix_range
+
+# (namespace, start, end, limit, reverse) -> (list of (key, value_dict), latency)
+RangeReadFn = Callable[[str, Optional[Key], Optional[Key], Optional[int], bool],
+                       Tuple[List[Tuple[Key, Dict[str, Any]]], float]]
+# (entity_name, key) -> (row dict or None, latency)
+EntityGetFn = Callable[[str, Key], Tuple[Optional[Dict[str, Any]], float]]
+
+
+class ExecutionError(RuntimeError):
+    """Raised when a plan cannot be executed (e.g. missing parameter)."""
+
+
+@dataclass
+class QueryResult:
+    """The rows a query returned plus what it cost to produce them."""
+
+    rows: List[Dict[str, Any]]
+    latency: float
+    index_entries_read: int
+    dereferences: int
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+class QueryExecutor:
+    """Executes :class:`QueryPlan` objects against pluggable storage callables."""
+
+    def __init__(self, range_read: RangeReadFn, entity_get: EntityGetFn) -> None:
+        self._range_read = range_read
+        self._entity_get = entity_get
+
+    # ----------------------------------------------------------------- execute
+
+    def execute(self, plan: QueryPlan, params: Dict[str, Any]) -> QueryResult:
+        """Run a plan with the given parameter bindings."""
+        prefix = self._bind_prefix(plan, params)
+        start, end = self._range_keys(plan, prefix, params)
+        entries, range_latency = self._range_read(
+            plan.namespace, start, end, plan.limit, plan.descending
+        )
+        if plan.limit is not None:
+            entries = entries[: plan.limit]
+        rows: List[Dict[str, Any]] = []
+        dereference_latency = 0.0
+        dereferences = 0
+        for key, index_value in entries:
+            final_key = key[-plan.final_key_length:]
+            if plan.dereference:
+                row, latency = self._entity_get(plan.final_entity, final_key)
+                dereferences += 1
+                # Dereferences of different index entries hit independent
+                # replica groups; model them as parallel fetches.
+                dereference_latency = max(dereference_latency, latency)
+                if row is None:
+                    continue
+            else:
+                row = dict(index_value) if isinstance(index_value, dict) else {}
+            if plan.selected_columns:
+                row = {column: row.get(column) for column in plan.selected_columns}
+            rows.append(row)
+        return QueryResult(
+            rows=rows,
+            latency=range_latency + dereference_latency,
+            index_entries_read=len(entries),
+            dereferences=dereferences,
+        )
+
+    # ------------------------------------------------------------------ binding
+
+    @staticmethod
+    def _bind_component(component: PrefixComponent, params: Dict[str, Any]) -> Any:
+        if component.kind == "literal":
+            return component.value
+        if component.value not in params:
+            raise ExecutionError(f"missing query parameter {component.value!r}")
+        return params[component.value]
+
+    def _bind_prefix(self, plan: QueryPlan, params: Dict[str, Any]) -> Key:
+        return tuple(self._bind_component(component, params) for component in plan.prefix)
+
+    def _range_keys(
+        self,
+        plan: QueryPlan,
+        prefix: Key,
+        params: Dict[str, Any],
+    ) -> Tuple[Optional[Key], Optional[Key]]:
+        """Start/end keys for the single contiguous index scan.
+
+        Strict bounds are encoded directly into the key range: a ``>`` low
+        bound starts the range at the successor of the bound value, and a
+        ``<`` high bound ends it exactly at the bound value (exclusive), so no
+        post-filtering is ever needed.
+        """
+        base = prefix_range(plan.namespace, prefix)
+        bound = plan.range_bound
+        if bound is None:
+            return base.start, base.end
+        start: Optional[Key] = base.start
+        end: Optional[Key] = base.end
+        if bound.low is not None:
+            low_value = self._bind_component(bound.low, params)
+            if bound.op == ">":
+                start = prefix + (key_part_successor(low_value),)
+            else:  # '>=' or the low side of BETWEEN (inclusive)
+                start = prefix + (low_value,)
+        if bound.high is not None:
+            high_value = self._bind_component(bound.high, params)
+            if bound.op == "<":
+                end = prefix + (high_value,)
+            else:  # '<=' or the high side of BETWEEN (inclusive)
+                end = prefix + (key_part_successor(high_value),)
+        return start, end

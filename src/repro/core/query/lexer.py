@@ -1,0 +1,130 @@
+"""Tokenizer for the restricted SQL dialect.
+
+The only unusual piece is parameter syntax: ``<user_id>`` denotes a template
+parameter (as in the paper's example query), so ``<`` followed immediately by
+an identifier and ``>`` lexes as a single PARAMETER token rather than a
+comparison operator.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+from typing import List, Union
+
+
+class LexError(ValueError):
+    """Raised when the query text contains something the lexer cannot tokenize."""
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "keyword"
+    IDENTIFIER = "identifier"
+    NUMBER = "number"
+    STRING = "string"
+    PARAMETER = "parameter"
+    OPERATOR = "operator"  # = < <= > >=
+    STAR = "star"
+    COMMA = "comma"
+    DOT = "dot"
+    LPAREN = "lparen"
+    RPAREN = "rparen"
+    EOF = "eof"
+
+
+KEYWORDS = {
+    "select", "from", "join", "on", "where", "and", "or",
+    "order", "by", "asc", "desc", "limit", "between",
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its original position for error messages."""
+
+    token_type: TokenType
+    value: Union[str, int, float]
+    position: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.token_type is TokenType.KEYWORD and self.value == word.lower()
+
+
+_IDENTIFIER_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+_NUMBER_RE = re.compile(r"\d+(\.\d+)?")
+_PARAMETER_RE = re.compile(r"<\s*([A-Za-z_][A-Za-z0-9_]*)\s*>")
+_WHITESPACE = " \t\r\n"
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize query text; raises :class:`LexError` on unknown characters."""
+    tokens: List[Token] = []
+    position = 0
+    length = len(text)
+    while position < length:
+        char = text[position]
+        if char in _WHITESPACE:
+            position += 1
+            continue
+        parameter_match = _PARAMETER_RE.match(text, position)
+        if parameter_match:
+            tokens.append(Token(TokenType.PARAMETER, parameter_match.group(1), position))
+            position = parameter_match.end()
+            continue
+        if char == "*":
+            tokens.append(Token(TokenType.STAR, "*", position))
+            position += 1
+            continue
+        if char == ",":
+            tokens.append(Token(TokenType.COMMA, ",", position))
+            position += 1
+            continue
+        if char == ".":
+            tokens.append(Token(TokenType.DOT, ".", position))
+            position += 1
+            continue
+        if char == "(":
+            tokens.append(Token(TokenType.LPAREN, "(", position))
+            position += 1
+            continue
+        if char == ")":
+            tokens.append(Token(TokenType.RPAREN, ")", position))
+            position += 1
+            continue
+        if char in "<>=":
+            two = text[position:position + 2]
+            if two in ("<=", ">="):
+                tokens.append(Token(TokenType.OPERATOR, two, position))
+                position += 2
+                continue
+            tokens.append(Token(TokenType.OPERATOR, char, position))
+            position += 1
+            continue
+        if char in "'\"":
+            end = text.find(char, position + 1)
+            if end == -1:
+                raise LexError(f"unterminated string literal at position {position}")
+            tokens.append(Token(TokenType.STRING, text[position + 1:end], position))
+            position = end + 1
+            continue
+        number_match = _NUMBER_RE.match(text, position)
+        if number_match:
+            raw = number_match.group(0)
+            value: Union[int, float] = float(raw) if "." in raw else int(raw)
+            tokens.append(Token(TokenType.NUMBER, value, position))
+            position = number_match.end()
+            continue
+        identifier_match = _IDENTIFIER_RE.match(text, position)
+        if identifier_match:
+            word = identifier_match.group(0)
+            lowered = word.lower()
+            if lowered in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, lowered, position))
+            else:
+                tokens.append(Token(TokenType.IDENTIFIER, word, position))
+            position = identifier_match.end()
+            continue
+        raise LexError(f"unexpected character {char!r} at position {position}")
+    tokens.append(Token(TokenType.EOF, "", length))
+    return tokens

@@ -1,0 +1,226 @@
+"""Recursive-descent parser for the restricted SQL dialect.
+
+Grammar (keywords case-insensitive)::
+
+    query      := SELECT select_list FROM table_ref join* where? order? limit?
+    select_list:= '*' | item (',' item)*
+    item       := alias '.' '*' | column_ref
+    table_ref  := identifier [identifier]
+    join       := JOIN table_ref ON column_ref '=' column_ref
+    where      := WHERE predicate (AND predicate)*
+    predicate  := column_ref op value | column_ref BETWEEN value AND value
+    op         := '=' | '<' | '<=' | '>' | '>='
+    value      := parameter | string | number
+    order      := ORDER BY column_ref [ASC|DESC]
+    limit      := LIMIT number
+
+``OR`` is rejected with a pointer toward the SCADS idiom (declare two
+templates, or store both directions of a symmetric relationship), because a
+disjunction cannot be answered from one contiguous index range.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+from repro.core.query.ast import (
+    ColumnRef,
+    JoinClause,
+    Literal,
+    OrderBy,
+    Parameter,
+    Predicate,
+    QueryTemplate,
+    SelectItem,
+)
+from repro.core.query.lexer import Token, TokenType, tokenize
+
+
+class ParseError(ValueError):
+    """Raised when query text does not conform to the restricted grammar."""
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token], text: str) -> None:
+        self._tokens = tokens
+        self._index = 0
+        self._text = text
+
+    # ----------------------------------------------------------------- helpers
+
+    def _peek(self) -> Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._index]
+        if token.token_type is not TokenType.EOF:
+            self._index += 1
+        return token
+
+    def _expect_keyword(self, word: str) -> Token:
+        token = self._advance()
+        if not token.is_keyword(word):
+            raise ParseError(f"expected {word.upper()!r} at position {token.position}, "
+                             f"got {token.value!r}")
+        return token
+
+    def _expect(self, token_type: TokenType) -> Token:
+        token = self._advance()
+        if token.token_type is not token_type:
+            raise ParseError(f"expected {token_type.value} at position {token.position}, "
+                             f"got {token.value!r}")
+        return token
+
+    def _check_keyword(self, word: str) -> bool:
+        return self._peek().is_keyword(word)
+
+    # ------------------------------------------------------------------- parse
+
+    def parse(self) -> QueryTemplate:
+        self._expect_keyword("select")
+        select = self._parse_select_list()
+        self._expect_keyword("from")
+        from_table, from_alias = self._parse_table_ref()
+        joins = []
+        while self._check_keyword("join"):
+            joins.append(self._parse_join())
+        where: List[Predicate] = []
+        if self._check_keyword("where"):
+            self._advance()
+            where = self._parse_predicates()
+        order_by = None
+        if self._check_keyword("order"):
+            order_by = self._parse_order_by()
+        limit = None
+        if self._check_keyword("limit"):
+            self._advance()
+            limit_token = self._expect(TokenType.NUMBER)
+            if not isinstance(limit_token.value, int) or limit_token.value < 1:
+                raise ParseError(f"LIMIT must be a positive integer, got {limit_token.value!r}")
+            limit = limit_token.value
+        trailing = self._peek()
+        if trailing.token_type is not TokenType.EOF:
+            raise ParseError(f"unexpected trailing input at position {trailing.position}: "
+                             f"{trailing.value!r}")
+        return QueryTemplate(
+            select=select,
+            from_table=from_table,
+            from_alias=from_alias,
+            joins=joins,
+            where=where,
+            order_by=order_by,
+            limit=limit,
+            text=self._text,
+        )
+
+    def _parse_select_list(self) -> List[SelectItem]:
+        items: List[SelectItem] = []
+        while True:
+            token = self._peek()
+            if token.token_type is TokenType.STAR:
+                self._advance()
+                items.append(SelectItem(is_star=True))
+            elif token.token_type is TokenType.IDENTIFIER:
+                first = self._advance().value
+                if self._peek().token_type is TokenType.DOT:
+                    self._advance()
+                    nxt = self._peek()
+                    if nxt.token_type is TokenType.STAR:
+                        self._advance()
+                        items.append(SelectItem(is_star=True, star_alias=str(first)))
+                    else:
+                        column = self._expect(TokenType.IDENTIFIER).value
+                        items.append(SelectItem(column=ColumnRef(str(first), str(column))))
+                else:
+                    items.append(SelectItem(column=ColumnRef(None, str(first))))
+            else:
+                raise ParseError(f"expected a column or '*' at position {token.position}")
+            if self._peek().token_type is TokenType.COMMA:
+                self._advance()
+                continue
+            return items
+
+    def _parse_table_ref(self):
+        table = self._expect(TokenType.IDENTIFIER).value
+        alias = table
+        if self._peek().token_type is TokenType.IDENTIFIER:
+            alias = self._advance().value
+        return str(table), str(alias)
+
+    def _parse_join(self) -> JoinClause:
+        self._expect_keyword("join")
+        table, alias = self._parse_table_ref()
+        self._expect_keyword("on")
+        left = self._parse_column_ref()
+        operator = self._expect(TokenType.OPERATOR)
+        if operator.value != "=":
+            raise ParseError(f"JOIN conditions must be equalities, got {operator.value!r}")
+        right = self._parse_column_ref()
+        return JoinClause(table=table, alias=alias, left=left, right=right)
+
+    def _parse_column_ref(self) -> ColumnRef:
+        first = self._expect(TokenType.IDENTIFIER).value
+        if self._peek().token_type is TokenType.DOT:
+            self._advance()
+            column = self._expect(TokenType.IDENTIFIER).value
+            return ColumnRef(str(first), str(column))
+        return ColumnRef(None, str(first))
+
+    def _parse_predicates(self) -> List[Predicate]:
+        predicates = [self._parse_predicate()]
+        while True:
+            if self._check_keyword("and"):
+                self._advance()
+                predicates.append(self._parse_predicate())
+                continue
+            if self._check_keyword("or"):
+                raise ParseError(
+                    "OR is not supported: a disjunction cannot be answered from one "
+                    "contiguous index range; declare separate query templates (or store "
+                    "both directions of a symmetric relationship) instead"
+                )
+            return predicates
+
+    def _parse_predicate(self) -> Predicate:
+        column = self._parse_column_ref()
+        token = self._peek()
+        if token.is_keyword("between"):
+            self._advance()
+            low = self._parse_value()
+            self._expect_keyword("and")
+            high = self._parse_value()
+            return Predicate(column=column, op="between", value=low, value_high=high)
+        operator = self._expect(TokenType.OPERATOR)
+        value = self._parse_value()
+        return Predicate(column=column, op=str(operator.value), value=value)
+
+    def _parse_value(self) -> Union[Parameter, Literal]:
+        token = self._advance()
+        if token.token_type is TokenType.PARAMETER:
+            return Parameter(str(token.value))
+        if token.token_type is TokenType.STRING:
+            return Literal(str(token.value))
+        if token.token_type is TokenType.NUMBER:
+            return Literal(token.value)
+        raise ParseError(f"expected a parameter or literal at position {token.position}, "
+                         f"got {token.value!r}")
+
+    def _parse_order_by(self) -> OrderBy:
+        self._expect_keyword("order")
+        self._expect_keyword("by")
+        column = self._parse_column_ref()
+        descending = False
+        if self._check_keyword("desc"):
+            self._advance()
+            descending = True
+        elif self._check_keyword("asc"):
+            self._advance()
+        return OrderBy(column=column, descending=descending)
+
+
+def parse_query(text: str) -> QueryTemplate:
+    """Parse query-template text into a :class:`QueryTemplate` AST."""
+    if not text or not text.strip():
+        raise ParseError("query text is empty")
+    tokens = tokenize(text)
+    return _Parser(tokens, text.strip()).parse()

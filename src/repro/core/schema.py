@@ -1,0 +1,239 @@
+"""Entity schemas with declared cardinality bounds.
+
+SCADS requires developers to declare, up front, how many rows any single
+partition-key value may own (Facebook's 5 000-friend limit is the paper's
+example).  Those bounds are what the query analyzer multiplies together to
+prove a query template's cost is independent of the total number of users.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+
+class SchemaError(ValueError):
+    """Raised for invalid schema declarations or rows that violate them."""
+
+
+class FieldType(enum.Enum):
+    """Supported field types (key fields must be STRING, INT, or FLOAT)."""
+
+    STRING = "string"
+    INT = "int"
+    FLOAT = "float"
+
+    def python_types(self) -> Tuple[type, ...]:
+        if self is FieldType.STRING:
+            return (str,)
+        if self is FieldType.INT:
+            return (int,)
+        return (int, float)
+
+
+@dataclass(frozen=True)
+class Field:
+    """One typed field of an entity."""
+
+    name: str
+    field_type: FieldType = FieldType.STRING
+
+    def validate(self, value: Any) -> None:
+        """Check a value against the field type (None is allowed for non-key fields)."""
+        if value is None:
+            return
+        if isinstance(value, bool) or not isinstance(value, self.field_type.python_types()):
+            raise SchemaError(
+                f"field {self.name!r} expects {self.field_type.value}, "
+                f"got {type(value).__name__}: {value!r}"
+            )
+
+
+@dataclass(frozen=True)
+class Relationship:
+    """A named, bounded association used by the query analyzer.
+
+    ``max_cardinality`` bounds how many target rows one source row may relate
+    to.  A relationship without a finite bound (``None``) models Twitter-style
+    unbounded followers — queries traversing it are rejected.
+    """
+
+    name: str
+    from_entity: str
+    to_entity: str
+    max_cardinality: Optional[int] = None
+
+    @property
+    def is_bounded(self) -> bool:
+        return self.max_cardinality is not None
+
+
+@dataclass
+class EntitySchema:
+    """One entity set (table) stored in SCADS.
+
+    Args:
+        name: entity-set name, also the storage namespace.
+        key_fields: ordered primary-key fields; the first is the partition key.
+        value_fields: non-key fields.
+        max_per_partition: bound on rows sharing the same partition-key value
+            (None means unbounded — allowed for storage, but queries that need
+            to enumerate the partition will be rejected unless they carry a
+            LIMIT).
+        column_bounds: optional bounds on rows per distinct value of other
+            columns (e.g. a symmetric friendship table is bounded per ``f2``
+            as well as per ``f1``).  The query analyzer needs these to prove
+            that reverse traversals during index maintenance stay O(K).
+    """
+
+    name: str
+    key_fields: List[Field]
+    value_fields: List[Field] = field(default_factory=list)
+    max_per_partition: Optional[int] = None
+    column_bounds: Dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("entity name must be non-empty")
+        if not self.key_fields:
+            raise SchemaError(f"entity {self.name!r} needs at least one key field")
+        names = [f.name for f in self.key_fields] + [f.name for f in self.value_fields]
+        duplicates = {n for n in names if names.count(n) > 1}
+        if duplicates:
+            raise SchemaError(f"entity {self.name!r} has duplicate fields: {sorted(duplicates)}")
+        if self.max_per_partition is not None and self.max_per_partition < 1:
+            raise SchemaError("max_per_partition must be >= 1 when given")
+        for column, bound in self.column_bounds.items():
+            if column not in names:
+                raise SchemaError(
+                    f"column bound references unknown field {column!r} on {self.name!r}"
+                )
+            if bound < 1:
+                raise SchemaError(f"column bound for {column!r} must be >= 1, got {bound}")
+
+    # ------------------------------------------------------------------ lookup
+
+    @property
+    def key_field_names(self) -> List[str]:
+        return [f.name for f in self.key_fields]
+
+    @property
+    def value_field_names(self) -> List[str]:
+        return [f.name for f in self.value_fields]
+
+    @property
+    def field_names(self) -> List[str]:
+        return self.key_field_names + self.value_field_names
+
+    def field_by_name(self, name: str) -> Field:
+        for f in self.key_fields + self.value_fields:
+            if f.name == name:
+                return f
+        raise SchemaError(f"entity {self.name!r} has no field {name!r}")
+
+    def has_field(self, name: str) -> bool:
+        return name in self.field_names
+
+    def is_key_field(self, name: str) -> bool:
+        return name in self.key_field_names
+
+    def key_position(self, name: str) -> int:
+        """Position of a field within the primary key (raises if not a key field)."""
+        try:
+            return self.key_field_names.index(name)
+        except ValueError as exc:
+            raise SchemaError(f"{name!r} is not a key field of {self.name!r}") from exc
+
+    def rows_per_value_bound(self, column: str) -> Optional[int]:
+        """Bound on how many rows share one value of ``column`` (None = unbounded).
+
+        A single-field primary key bounds itself at 1; the partition key is
+        bounded by ``max_per_partition``; other columns fall back to any
+        declared ``column_bounds`` entry.
+        """
+        if not self.has_field(column):
+            raise SchemaError(f"entity {self.name!r} has no field {column!r}")
+        if self.is_key_field(column) and len(self.key_fields) == 1:
+            return 1
+        if column == self.key_field_names[0]:
+            return self.max_per_partition
+        return self.column_bounds.get(column)
+
+    # --------------------------------------------------------------- row checks
+
+    def storage_key(self, row: Dict[str, Any]) -> Tuple:
+        """The storage key tuple for a row (validates key fields are present)."""
+        key_parts = []
+        for f in self.key_fields:
+            if f.name not in row or row[f.name] is None:
+                raise SchemaError(
+                    f"row for {self.name!r} is missing key field {f.name!r}: {row!r}"
+                )
+            f.validate(row[f.name])
+            key_parts.append(row[f.name])
+        return tuple(key_parts)
+
+    def validate_row(self, row: Dict[str, Any]) -> None:
+        """Validate a full row: key present and typed, no unknown fields."""
+        self.storage_key(row)
+        for name, value in row.items():
+            if not self.has_field(name):
+                raise SchemaError(f"entity {self.name!r} has no field {name!r}")
+            self.field_by_name(name).validate(value)
+
+    def value_dict(self, row: Dict[str, Any]) -> Dict[str, Any]:
+        """The non-key portion of a row (missing fields become None)."""
+        return {f.name: row.get(f.name) for f in self.value_fields}
+
+
+class SchemaRegistry:
+    """All entity schemas and relationships an application has declared."""
+
+    def __init__(self) -> None:
+        self._entities: Dict[str, EntitySchema] = {}
+        self._relationships: Dict[str, Relationship] = {}
+
+    # ------------------------------------------------------------------ entities
+
+    def register_entity(self, schema: EntitySchema) -> EntitySchema:
+        if schema.name in self._entities:
+            raise SchemaError(f"entity {schema.name!r} is already registered")
+        self._entities[schema.name] = schema
+        return schema
+
+    def entity(self, name: str) -> EntitySchema:
+        if name not in self._entities:
+            raise SchemaError(f"unknown entity {name!r}")
+        return self._entities[name]
+
+    def has_entity(self, name: str) -> bool:
+        return name in self._entities
+
+    def entities(self) -> List[EntitySchema]:
+        return list(self._entities.values())
+
+    # ------------------------------------------------------------- relationships
+
+    def register_relationship(self, relationship: Relationship) -> Relationship:
+        for entity_name in (relationship.from_entity, relationship.to_entity):
+            if entity_name not in self._entities:
+                raise SchemaError(
+                    f"relationship {relationship.name!r} references unknown entity {entity_name!r}"
+                )
+        if relationship.name in self._relationships:
+            raise SchemaError(f"relationship {relationship.name!r} is already registered")
+        self._relationships[relationship.name] = relationship
+        return relationship
+
+    def relationship(self, name: str) -> Relationship:
+        if name not in self._relationships:
+            raise SchemaError(f"unknown relationship {name!r}")
+        return self._relationships[name]
+
+    def relationships(self) -> List[Relationship]:
+        return list(self._relationships.values())
+
+    def cardinality_bound(self, entity_name: str) -> Optional[int]:
+        """The per-partition row bound for an entity (None if unbounded)."""
+        return self.entity(entity_name).max_per_partition

@@ -1,0 +1,23 @@
+"""Experiment harness shared by the benchmark suite and the examples.
+
+The functions here wire a complete closed-loop run: build an engine, declare
+the social-network application, bulk-load a synthetic graph, drive it with a
+trace through the load generator, and report SLA attainment, cost, and
+scaling behaviour.  Every benchmark in ``benchmarks/`` is a thin wrapper
+around these helpers so that the numbers in EXPERIMENTS.md are produced by
+exactly one code path.
+"""
+
+from repro.experiments.harness import (
+    ClosedLoopResult,
+    SCALED_DOWN_INSTANCE,
+    build_engine_and_app,
+    run_closed_loop,
+)
+
+__all__ = [
+    "ClosedLoopResult",
+    "SCALED_DOWN_INSTANCE",
+    "build_engine_and_app",
+    "run_closed_loop",
+]

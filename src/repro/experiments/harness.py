@@ -1,0 +1,214 @@
+"""Closed-loop experiment harness.
+
+Simulated experiments run at a reduced absolute scale so that a full
+benchmark suite finishes in minutes on a laptop: the harness uses a
+scaled-down instance type (low per-node capacity) and request rates in the
+tens-to-hundreds of operations per second.  Because every claim the paper
+makes is about *relative* behaviour — latency percentiles vs. load, cost of
+autoscaled vs. static provisioning, who wins and by how much — the scale-down
+preserves the phenomena while keeping wall-clock time reasonable.  The knobs
+are all exposed so a larger run only needs different arguments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.apps.social_network import SocialNetworkApp
+from repro.cloud.instances import InstanceType
+from repro.core.consistency.spec import (
+    ConsistencySpec,
+    PerformanceSLA,
+    ReadConsistency,
+    SessionGuarantee,
+)
+from repro.core.engine import Scads
+from repro.metrics.cost import CostReport
+from repro.metrics.sla import SLAReport
+from repro.workloads.generator import LoadGenerator
+from repro.workloads.opmix import CloudStoneMix, OperationKind
+from repro.workloads.social_graph import SocialGraph
+from repro.workloads.traces import LoadTrace
+
+# A deliberately small machine class: 60 storage ops/sec per node and a
+# one-minute boot delay.  Low capacity means interesting scaling dynamics
+# appear at simulated request rates the test suite can afford to run.
+SCALED_DOWN_INSTANCE = InstanceType(
+    name="sim.small",
+    hourly_cost=0.10,
+    boot_delay=60.0,
+    capacity_ops_per_sec=60.0,
+)
+
+
+@dataclass
+class ClosedLoopResult:
+    """Everything a benchmark needs to report about one closed-loop run."""
+
+    engine: Scads
+    app: SocialNetworkApp
+    duration: float
+    operations: int
+    read_report: SLAReport
+    write_report: SLAReport
+    cost: CostReport
+    peak_nodes: int
+    final_nodes: int
+    scale_ups: int
+    scale_downs: int
+    max_replication_lag: float
+    deadline_miss_rate: float
+
+    def summary(self) -> Dict[str, object]:
+        """Flat dictionary used by the benchmark harnesses' printed tables."""
+        return {
+            "duration_s": round(self.duration, 1),
+            "operations": self.operations,
+            "read_p_latency_ms": round(self.read_report.observed_percentile_latency * 1000, 2),
+            "read_sla_met": self.read_report.satisfied,
+            "write_p_latency_ms": round(self.write_report.observed_percentile_latency * 1000, 2),
+            "peak_nodes": self.peak_nodes,
+            "final_nodes": self.final_nodes,
+            "scale_ups": self.scale_ups,
+            "scale_downs": self.scale_downs,
+            "dollars": round(self.cost.dollars, 3),
+            "machine_hours": round(self.cost.machine_hours, 1),
+            "max_replication_lag_s": round(self.max_replication_lag, 3),
+            "deadline_miss_rate": round(self.deadline_miss_rate, 4),
+        }
+
+
+def default_spec(
+    latency: float = 0.150,
+    percentile: float = 99.0,
+    staleness_bound: float = 120.0,
+    read_your_writes: bool = False,
+) -> ConsistencySpec:
+    """The consistency spec the harness uses unless an experiment overrides it."""
+    return ConsistencySpec(
+        performance=PerformanceSLA(percentile=percentile, latency=latency),
+        read=ReadConsistency(staleness_bound=staleness_bound),
+        session=SessionGuarantee(read_your_writes=read_your_writes),
+    )
+
+
+def build_engine_and_app(
+    seed: int = 0,
+    n_users: int = 200,
+    friend_cap: int = 20,
+    mean_friends: float = 4.0,
+    spec: Optional[ConsistencySpec] = None,
+    autoscale: bool = True,
+    predictive_scaling: bool = True,
+    initial_groups: int = 1,
+    control_interval: float = 30.0,
+    instance_type: InstanceType = SCALED_DOWN_INSTANCE,
+    register_friends_of_friends: bool = False,
+    updates_per_second_per_node: float = 100.0,
+    fifo_updates: bool = False,
+) -> Tuple[Scads, SocialNetworkApp, SocialGraph]:
+    """Build an engine + social app and bulk-load a synthetic graph."""
+    engine = Scads(
+        seed=seed,
+        consistency=spec or default_spec(),
+        instance_type=instance_type,
+        initial_groups=initial_groups,
+        autoscale=autoscale,
+        predictive_scaling=predictive_scaling,
+        control_interval=control_interval,
+        updates_per_second_per_node=updates_per_second_per_node,
+        fifo_updates=fifo_updates,
+    )
+    app = SocialNetworkApp(
+        engine,
+        friend_cap=friend_cap,
+        page_size=10,
+        register_friends_of_friends=register_friends_of_friends,
+    )
+    graph = SocialGraph(
+        n_users,
+        np.random.default_rng(seed),
+        max_friends=friend_cap,
+        mean_friends=mean_friends,
+    )
+    app.load_graph(graph)
+    return engine, app, graph
+
+
+def run_closed_loop(
+    trace: LoadTrace,
+    duration: float,
+    seed: int = 0,
+    n_users: int = 200,
+    friend_cap: int = 20,
+    spec: Optional[ConsistencySpec] = None,
+    autoscale: bool = True,
+    predictive_scaling: bool = True,
+    initial_groups: int = 1,
+    control_interval: float = 30.0,
+    sampling_fraction: float = 1.0,
+    write_heavy: bool = False,
+    instance_type: InstanceType = SCALED_DOWN_INSTANCE,
+    fifo_updates: bool = False,
+) -> ClosedLoopResult:
+    """Run one complete closed-loop experiment and collect its results."""
+    engine, app, graph = build_engine_and_app(
+        seed=seed,
+        n_users=n_users,
+        friend_cap=friend_cap,
+        spec=spec,
+        autoscale=autoscale,
+        predictive_scaling=predictive_scaling,
+        initial_groups=initial_groups,
+        control_interval=control_interval,
+        instance_type=instance_type,
+        fifo_updates=fifo_updates,
+    )
+    engine.start()
+    mix = CloudStoneMix(graph, engine.sim.random.get("workload-mix"))
+    if write_heavy:
+        from repro.workloads.opmix import WRITE_HEAVY_MIX
+
+        mix.set_mix(WRITE_HEAVY_MIX)
+    generator = LoadGenerator(
+        engine.sim, trace, mix, app.execute, sampling_fraction=sampling_fraction
+    )
+    start_time = engine.now
+    generator.start()
+    engine.run_for(duration)
+    generator.stop()
+
+    node_series = engine.controller.series()
+    peak_nodes = int(node_series.get("nodes").max()) if "nodes" in node_series \
+        else engine.cluster.node_count()
+    instance_series = engine.pool.count_series()
+    mean_instances = (
+        instance_series.integrate() / max(engine.now - start_time, 1.0)
+        if len(instance_series) > 1 else float(engine.pool.active_count())
+    )
+    cost = CostReport(
+        machine_hours=engine.pool.total_machine_hours(),
+        dollars=engine.pool.total_cost(),
+        requests_served=sum(engine.cumulative_operation_counts().values()),
+        peak_instances=int(instance_series.max()) if len(instance_series) else 0,
+        mean_instances=mean_instances,
+    )
+    updater_stats = engine.updater.stats()
+    return ClosedLoopResult(
+        engine=engine,
+        app=app,
+        duration=duration,
+        operations=generator.stats.operations_issued,
+        read_report=engine.sla_report("read"),
+        write_report=engine.sla_report("write"),
+        cost=cost,
+        peak_nodes=peak_nodes,
+        final_nodes=engine.cluster.node_count(),
+        scale_ups=engine.controller.scale_up_count(),
+        scale_downs=engine.controller.scale_down_count(),
+        max_replication_lag=engine.cluster.replication.max_observed_lag(),
+        deadline_miss_rate=updater_stats.miss_rate,
+    )

@@ -1,0 +1,48 @@
+"""Cost reporting helpers tying cloud billing to workload volume.
+
+The paper defines scaling as "servicing more (or fewer) users while keeping
+the cost per user constant", so experiment output needs cost per user and
+cost per request alongside raw machine-hours.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class CostReport:
+    """Cost summary for one experiment run."""
+
+    machine_hours: float
+    dollars: float
+    requests_served: int
+    peak_instances: int
+    mean_instances: float
+
+    def cost_per_request(self) -> float:
+        """Dollars per request served (0 if no requests were served)."""
+        if self.requests_served == 0:
+            return 0.0
+        return self.dollars / self.requests_served
+
+    def cost_per_million_requests(self) -> float:
+        """Dollars per million requests — the unit used in EXPERIMENTS.md."""
+        return self.cost_per_request() * 1_000_000
+
+    def savings_vs(self, other: "CostReport") -> float:
+        """Fractional savings of this run relative to ``other`` (positive = cheaper)."""
+        if other.dollars == 0:
+            return 0.0
+        return 1.0 - self.dollars / other.dollars
+
+    def as_dict(self) -> dict:
+        """Plain-dict form for printing in benchmark harnesses."""
+        return {
+            "machine_hours": round(self.machine_hours, 3),
+            "dollars": round(self.dollars, 4),
+            "requests_served": self.requests_served,
+            "peak_instances": self.peak_instances,
+            "mean_instances": round(self.mean_instances, 2),
+            "cost_per_million_requests": round(self.cost_per_million_requests(), 4),
+        }

@@ -1,0 +1,139 @@
+"""Latency percentile estimation.
+
+The SLAs in the paper are expressed over high percentiles (99.9th), so the
+recorder keeps exact samples within a window rather than a lossy sketch; the
+simulated request volumes make this affordable, and it removes sketch error
+as a confound when we report SLA attainment.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+
+class PercentileEstimator:
+    """Collects samples and answers percentile queries over them."""
+
+    def __init__(self) -> None:
+        self._samples: List[float] = []
+        self._sorted_cache: Optional[np.ndarray] = None
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def add(self, value: float) -> None:
+        """Record one sample (e.g. one request latency in seconds)."""
+        if value < 0:
+            raise ValueError(f"samples must be non-negative, got {value}")
+        self._samples.append(float(value))
+        self._sorted_cache = None
+
+    def extend(self, values) -> None:
+        """Record many samples at once."""
+        for value in values:
+            self.add(value)
+
+    def percentile(self, p: float) -> float:
+        """Return the ``p``-th percentile (0 < p <= 100) of recorded samples."""
+        if not self._samples:
+            raise ValueError("no samples recorded")
+        if not 0.0 < p <= 100.0:
+            raise ValueError(f"percentile must be in (0, 100], got {p}")
+        if self._sorted_cache is None:
+            self._sorted_cache = np.sort(np.asarray(self._samples))
+        return float(np.percentile(self._sorted_cache, p))
+
+    def mean(self) -> float:
+        """Mean of recorded samples."""
+        if not self._samples:
+            raise ValueError("no samples recorded")
+        return float(np.mean(self._samples))
+
+    def max(self) -> float:
+        """Maximum recorded sample."""
+        if not self._samples:
+            raise ValueError("no samples recorded")
+        return float(np.max(self._samples))
+
+    def fraction_below(self, threshold: float) -> float:
+        """Fraction of samples strictly below ``threshold``.
+
+        This is the quantity an SLA like "99.9 % of requests under 100 ms"
+        asks about.
+        """
+        if not self._samples:
+            raise ValueError("no samples recorded")
+        arr = np.asarray(self._samples)
+        return float(np.mean(arr < threshold))
+
+    def reset(self) -> None:
+        """Drop all recorded samples."""
+        self._samples.clear()
+        self._sorted_cache = None
+
+    def snapshot(self) -> Dict[str, float]:
+        """Common summary statistics in one dictionary."""
+        if not self._samples:
+            return {"count": 0}
+        return {
+            "count": float(len(self._samples)),
+            "mean": self.mean(),
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+            "p999": self.percentile(99.9),
+            "max": self.max(),
+        }
+
+
+class LatencyRecorder:
+    """Per-operation-type latency recording with windowing support.
+
+    The provisioning loop trains its ML models on *recent* behaviour, so the
+    recorder can be drained window-by-window while an all-time estimator keeps
+    the experiment-level summary.
+    """
+
+    def __init__(self) -> None:
+        self._all_time: Dict[str, PercentileEstimator] = {}
+        self._window: Dict[str, PercentileEstimator] = {}
+
+    def record(self, op_type: str, latency: float) -> None:
+        """Record one latency for an operation type ('read', 'write', ...)."""
+        for bucket in (self._all_time, self._window):
+            if op_type not in bucket:
+                bucket[op_type] = PercentileEstimator()
+            bucket[op_type].add(latency)
+
+    def op_types(self) -> List[str]:
+        """Operation types seen so far."""
+        return sorted(self._all_time.keys())
+
+    def all_time(self, op_type: str) -> PercentileEstimator:
+        """All-time estimator for an operation type."""
+        if op_type not in self._all_time:
+            raise KeyError(f"no latencies recorded for operation type {op_type!r}")
+        return self._all_time[op_type]
+
+    def window(self, op_type: str) -> PercentileEstimator:
+        """Current-window estimator for an operation type."""
+        if op_type not in self._window:
+            raise KeyError(f"no latencies recorded for operation type {op_type!r}")
+        return self._window[op_type]
+
+    def window_count(self, op_type: str) -> int:
+        """Number of samples in the current window for ``op_type`` (0 if none)."""
+        est = self._window.get(op_type)
+        return len(est) if est is not None else 0
+
+    def roll_window(self) -> Dict[str, Dict[str, float]]:
+        """Close the current window, returning its per-op summary, and start a new one."""
+        summary = {op: est.snapshot() for op, est in self._window.items()}
+        self._window = {}
+        return summary
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """All-time per-operation summaries."""
+        return {op: est.snapshot() for op, est in self._all_time.items()}

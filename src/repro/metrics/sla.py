@@ -1,0 +1,136 @@
+"""SLA attainment accounting.
+
+An SLA in SCADS is of the form "P percent of requests of type T must succeed
+within L seconds".  The tracker turns a stream of (success, latency)
+observations into attainment numbers, both per reporting window (what the
+provisioning loop reacts to) and for the whole experiment (what
+``EXPERIMENTS.md`` reports).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class SLAReport:
+    """Attainment of one SLA over one interval."""
+
+    op_type: str
+    target_percentile: float
+    target_latency: float
+    observed_fraction_within: float
+    observed_percentile_latency: float
+    request_count: int
+    satisfied: bool
+
+    def violation_margin(self) -> float:
+        """How far the observed percentile latency exceeds the target (<= 0 if met)."""
+        return self.observed_percentile_latency - self.target_latency
+
+
+class SLATracker:
+    """Tracks one latency/availability SLA for one operation type."""
+
+    def __init__(
+        self,
+        op_type: str,
+        target_percentile: float,
+        target_latency: float,
+        availability_target: float = 0.999,
+    ) -> None:
+        if not 0.0 < target_percentile < 100.0:
+            raise ValueError(
+                f"target percentile must be in (0, 100), got {target_percentile}"
+            )
+        if target_latency <= 0:
+            raise ValueError(f"target latency must be positive, got {target_latency}")
+        if not 0.0 < availability_target <= 1.0:
+            raise ValueError(
+                f"availability target must be in (0, 1], got {availability_target}"
+            )
+        self.op_type = op_type
+        self.target_percentile = target_percentile
+        self.target_latency = target_latency
+        self.availability_target = availability_target
+        self._window_latencies: List[float] = []
+        self._window_failures = 0
+        self._all_latencies: List[float] = []
+        self._all_failures = 0
+        self._window_reports: List[SLAReport] = []
+
+    def observe(self, latency: Optional[float], success: bool = True) -> None:
+        """Record one request outcome.
+
+        Failed requests (success=False) count against availability; their
+        latency, if any, is ignored for the latency percentile.
+        """
+        if not success:
+            self._window_failures += 1
+            self._all_failures += 1
+            return
+        if latency is None:
+            raise ValueError("successful requests must report a latency")
+        if latency < 0:
+            raise ValueError(f"latency must be non-negative, got {latency}")
+        self._window_latencies.append(float(latency))
+        self._all_latencies.append(float(latency))
+
+    def _report_over(self, latencies: List[float], failures: int) -> SLAReport:
+        import numpy as np
+
+        total = len(latencies) + failures
+        if not latencies:
+            return SLAReport(
+                op_type=self.op_type,
+                target_percentile=self.target_percentile,
+                target_latency=self.target_latency,
+                observed_fraction_within=0.0 if total else 1.0,
+                observed_percentile_latency=float("inf") if total else 0.0,
+                request_count=total,
+                satisfied=total == 0,
+            )
+        arr = np.asarray(latencies)
+        within = float(np.sum(arr <= self.target_latency)) / total
+        observed_pct = float(np.percentile(arr, self.target_percentile))
+        satisfied = within >= self.target_percentile / 100.0
+        return SLAReport(
+            op_type=self.op_type,
+            target_percentile=self.target_percentile,
+            target_latency=self.target_latency,
+            observed_fraction_within=within,
+            observed_percentile_latency=observed_pct,
+            request_count=total,
+            satisfied=satisfied,
+        )
+
+    def close_window(self) -> SLAReport:
+        """Produce a report for the current window and start a new one."""
+        report = self._report_over(self._window_latencies, self._window_failures)
+        self._window_reports.append(report)
+        self._window_latencies = []
+        self._window_failures = 0
+        return report
+
+    def overall_report(self) -> SLAReport:
+        """Report over every observation since construction."""
+        return self._report_over(self._all_latencies, self._all_failures)
+
+    def availability(self) -> float:
+        """Fraction of all requests that succeeded."""
+        total = len(self._all_latencies) + self._all_failures
+        if total == 0:
+            return 1.0
+        return len(self._all_latencies) / total
+
+    def window_history(self) -> List[SLAReport]:
+        """Reports for every closed window, in order."""
+        return list(self._window_reports)
+
+    def violation_rate(self) -> float:
+        """Fraction of closed windows in which the SLA was violated."""
+        if not self._window_reports:
+            return 0.0
+        violated = sum(1 for r in self._window_reports if not r.satisfied)
+        return violated / len(self._window_reports)

@@ -1,0 +1,34 @@
+"""Machine-learning substrate.
+
+The paper leans on prior RAD Lab work (Hilighter, query-performance
+prediction, ensembles of models) for one job: *predict performance from
+workload and configuration so provisioning can act before SLAs are violated*.
+This package provides that capability with models implemented directly on
+numpy — linear and quantile regression, k-nearest-neighbour prediction, and
+ensembles — plus the workload forecaster and the performance models the
+provisioning loop trains online from the simulator's own measurements.
+"""
+
+from repro.ml.features import FeatureExtractor, WorkloadFeatures
+from repro.ml.regression import (
+    LinearRegressionModel,
+    QuantileRegressionModel,
+    RidgeRegressionModel,
+)
+from repro.ml.knn import KNNRegressor
+from repro.ml.ensemble import EnsembleModel
+from repro.ml.forecaster import WorkloadForecaster
+from repro.ml.performance_model import LatencyPercentileModel, PropagationLagModel
+
+__all__ = [
+    "WorkloadFeatures",
+    "FeatureExtractor",
+    "LinearRegressionModel",
+    "RidgeRegressionModel",
+    "QuantileRegressionModel",
+    "KNNRegressor",
+    "EnsembleModel",
+    "WorkloadForecaster",
+    "LatencyPercentileModel",
+    "PropagationLagModel",
+]

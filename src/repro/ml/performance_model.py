@@ -1,0 +1,200 @@
+"""Performance models trained online from the system's own measurements.
+
+Two models close the paper's provisioning feedback loop:
+
+* :class:`LatencyPercentileModel` — maps workload/configuration features to
+  the observed latency at the SLA percentile.  The capacity planner inverts
+  it ("how many nodes keep the predicted percentile under the target?").
+* :class:`PropagationLagModel` — maps update-queue pressure to observed
+  replication/index-propagation lag, used to provision for wall-clock
+  staleness bounds.
+
+Both start from a conservative analytic prior (an M/M/1-shaped curve) so the
+system behaves sensibly before it has gathered any training windows, then
+switch to the learned model once enough observations exist.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.ml.ensemble import EnsembleModel
+from repro.ml.features import WorkloadFeatures
+from repro.ml.knn import KNNRegressor
+from repro.ml.regression import QuantileRegressionModel, RidgeRegressionModel
+
+
+class LatencyPercentileModel:
+    """Predicts the SLA-percentile latency for a candidate configuration.
+
+    Args:
+        base_service_time: node service time at low load (seconds); anchors
+            the analytic prior.
+        node_capacity_ops: per-node sustainable ops/sec; anchors the prior's
+            utilisation term.
+        percentile: the SLA percentile being modelled (e.g. 99.9).
+        min_training_windows: observations required before trusting the
+            learned model over the analytic prior.
+    """
+
+    # Tail inflation of the percentile over the median for a log-normal-ish
+    # service distribution; only used by the analytic prior.
+    PRIOR_TAIL_FACTOR = 4.0
+
+    def __init__(
+        self,
+        base_service_time: float = 0.004,
+        node_capacity_ops: float = 1000.0,
+        percentile: float = 99.9,
+        min_training_windows: int = 8,
+        retrain_every: int = 4,
+    ) -> None:
+        if base_service_time <= 0 or node_capacity_ops <= 0:
+            raise ValueError("base_service_time and node_capacity_ops must be positive")
+        if not 0.0 < percentile < 100.0:
+            raise ValueError(f"percentile must be in (0, 100), got {percentile}")
+        self.base_service_time = base_service_time
+        self.node_capacity_ops = node_capacity_ops
+        self.percentile = percentile
+        self.min_training_windows = min_training_windows
+        self.retrain_every = retrain_every
+        self._features: List[np.ndarray] = []
+        self._targets: List[float] = []
+        self._model: Optional[EnsembleModel] = None
+        self._observations_since_fit = 0
+
+    # -------------------------------------------------------------- observation
+
+    def observe(self, features: WorkloadFeatures, observed_percentile_latency: float) -> None:
+        """Record one closed window's features and measured percentile latency."""
+        if observed_percentile_latency < 0:
+            raise ValueError("latency must be non-negative")
+        if not math.isfinite(observed_percentile_latency):
+            # Windows with no successful requests report infinite latency;
+            # they carry no signal about the latency-vs-load surface.
+            return
+        self._features.append(features.as_vector())
+        self._targets.append(float(observed_percentile_latency))
+        self._observations_since_fit += 1
+        if (
+            len(self._targets) >= self.min_training_windows
+            and self._observations_since_fit >= self.retrain_every
+        ):
+            self._fit()
+
+    def training_size(self) -> int:
+        return len(self._targets)
+
+    @property
+    def is_trained(self) -> bool:
+        return self._model is not None
+
+    def _fit(self) -> None:
+        members = [
+            RidgeRegressionModel(alpha=1.0),
+            QuantileRegressionModel(quantile=min(self.percentile / 100.0, 0.995),
+                                    iterations=200),
+            KNNRegressor(k=5),
+        ]
+        model = EnsembleModel(members)
+        model.fit(self._features, self._targets)
+        self._model = model
+        self._observations_since_fit = 0
+
+    # --------------------------------------------------------------- prediction
+
+    def prior_prediction(self, per_node_rate: float) -> float:
+        """Analytic prior: M/M/1-shaped percentile latency vs. per-node load."""
+        utilisation = min(per_node_rate / self.node_capacity_ops, 0.99)
+        return self.base_service_time * self.PRIOR_TAIL_FACTOR / (1.0 - utilisation)
+
+    def predict(self, features: WorkloadFeatures) -> float:
+        """Predicted SLA-percentile latency for the given configuration."""
+        if self._model is None:
+            return self.prior_prediction(features.per_node_rate)
+        learned = float(self._model.predict_one(features.as_vector()))
+        # The learned model can extrapolate below physical service time when
+        # asked about configurations far from anything observed; floor it.
+        return max(learned, self.base_service_time)
+
+    def required_nodes(
+        self,
+        predicted_rate: float,
+        write_fraction: float,
+        target_latency: float,
+        max_nodes: int = 10_000,
+        headroom: float = 0.85,
+        pending_updates: int = 0,
+    ) -> int:
+        """Smallest node count whose predicted percentile latency meets the SLA.
+
+        ``headroom`` tightens the target so the plan leaves margin for model
+        error — the provisioning loop's "don't sail exactly at the SLA" knob.
+        """
+        if predicted_rate < 0:
+            raise ValueError("predicted_rate must be non-negative")
+        if target_latency <= 0:
+            raise ValueError("target_latency must be positive")
+        if not 0.0 < headroom <= 1.0:
+            raise ValueError("headroom must be in (0, 1]")
+        effective_target = target_latency * headroom
+        if predicted_rate == 0:
+            return 1
+        # Lower bound from raw capacity so the search starts in a sane place.
+        lower = max(int(math.ceil(predicted_rate / self.node_capacity_ops)), 1)
+        for nodes in range(lower, max_nodes + 1):
+            features = WorkloadFeatures(
+                request_rate=predicted_rate,
+                write_fraction=write_fraction,
+                node_count=float(nodes),
+                per_node_rate=predicted_rate / nodes,
+                mean_utilisation=min(predicted_rate / (nodes * self.node_capacity_ops), 0.99),
+                max_utilisation=min(predicted_rate / (nodes * self.node_capacity_ops) * 1.2, 0.99),
+                pending_updates=float(pending_updates),
+            )
+            if self.predict(features) <= effective_target:
+                return nodes
+        return max_nodes
+
+
+class PropagationLagModel:
+    """Predicts index/replica propagation lag from update-queue pressure."""
+
+    def __init__(self, min_training_windows: int = 6) -> None:
+        self.min_training_windows = min_training_windows
+        self._features: List[List[float]] = []
+        self._targets: List[float] = []
+        self._model: Optional[RidgeRegressionModel] = None
+
+    def observe(self, pending_updates: int, per_node_rate: float, observed_lag: float) -> None:
+        """Record one window's queue depth, per-node load, and measured lag."""
+        if observed_lag < 0:
+            raise ValueError("lag must be non-negative")
+        self._features.append([float(pending_updates), float(per_node_rate)])
+        self._targets.append(float(observed_lag))
+        if len(self._targets) >= self.min_training_windows:
+            self._model = RidgeRegressionModel(alpha=1.0).fit(self._features, self._targets)
+
+    @property
+    def is_trained(self) -> bool:
+        return self._model is not None
+
+    def predict(self, pending_updates: int, per_node_rate: float) -> float:
+        """Predicted propagation lag (seconds) for the given pressure.
+
+        Before training, returns a conservative prior proportional to queue
+        depth (each pending update is assumed to take a few milliseconds).
+        """
+        if self._model is None:
+            return 0.005 * float(pending_updates) + 0.01
+        predicted = self._model.predict_one([float(pending_updates), float(per_node_rate)])
+        return max(float(predicted), 0.0)
+
+    def danger(self, pending_updates: int, per_node_rate: float, staleness_bound: float) -> bool:
+        """True when predicted lag is within 20 % of the declared staleness bound."""
+        if staleness_bound <= 0:
+            raise ValueError("staleness_bound must be positive")
+        return self.predict(pending_updates, per_node_rate) >= 0.8 * staleness_bound

@@ -1,0 +1,41 @@
+"""Discrete-event simulation kernel.
+
+Everything in the reproduction that involves time — request latency,
+replication lag, instance boot delay, billing hours — runs against a virtual
+clock managed by :class:`Simulator`.  The kernel is deliberately small:
+events, an event queue, a clock, reproducible random streams, latency
+distributions, and a network model with injectable partitions and congestion.
+"""
+
+from repro.sim.clock import VirtualClock
+from repro.sim.events import Event, EventQueue
+from repro.sim.simulator import Simulator
+from repro.sim.randomness import RandomStreams
+from repro.sim.latency import (
+    ConstantLatency,
+    EmpiricalLatency,
+    ExponentialLatency,
+    LatencyModel,
+    LogNormalLatency,
+    ParetoLatency,
+    QueueingLatency,
+)
+from repro.sim.network import Link, NetworkModel, Partition
+
+__all__ = [
+    "VirtualClock",
+    "Event",
+    "EventQueue",
+    "Simulator",
+    "RandomStreams",
+    "LatencyModel",
+    "ConstantLatency",
+    "ExponentialLatency",
+    "LogNormalLatency",
+    "ParetoLatency",
+    "EmpiricalLatency",
+    "QueueingLatency",
+    "Link",
+    "NetworkModel",
+    "Partition",
+]

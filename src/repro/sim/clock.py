@@ -1,0 +1,50 @@
+"""Virtual clock for discrete-event simulation.
+
+The clock only moves forward, and only when the simulator advances it.  All
+SCADS components take a clock (or the simulator that owns one) rather than
+reading the wall clock, which is what makes the wall-clock consistency bounds
+of the paper testable deterministically.
+"""
+
+from __future__ import annotations
+
+
+class ClockError(RuntimeError):
+    """Raised when the clock would be moved backwards."""
+
+
+class VirtualClock:
+    """A monotonically non-decreasing simulated clock, in seconds."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ValueError(f"clock cannot start at a negative time: {start}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds since the simulation epoch."""
+        return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Move the clock to ``timestamp``.
+
+        Raises :class:`ClockError` if the timestamp is in the past; advancing
+        to the current time is a no-op and is allowed (simultaneous events).
+        """
+        if timestamp < self._now:
+            raise ClockError(
+                f"cannot move clock backwards from {self._now:.6f} to {timestamp:.6f}"
+            )
+        self._now = float(timestamp)
+        return self._now
+
+    def advance_by(self, delta: float) -> float:
+        """Move the clock forward by ``delta`` seconds."""
+        if delta < 0:
+            raise ClockError(f"cannot advance the clock by a negative delta: {delta}")
+        self._now += float(delta)
+        return self._now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VirtualClock(now={self._now:.6f})"

@@ -1,0 +1,109 @@
+"""Events and the event queue used by the simulator.
+
+Events are ordered by (time, priority, sequence number).  The sequence number
+makes ordering of simultaneous events deterministic (insertion order), which
+keeps every experiment in the repository reproducible run-to-run.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Attributes:
+        time: simulated time (seconds) at which the event fires.
+        priority: tie-breaker for events at the same time; lower fires first.
+        seq: insertion sequence number, assigned by the queue.
+        action: zero-argument callable run when the event fires.
+        name: optional label used in traces and error messages.
+    """
+
+    time: float
+    priority: int = 0
+    seq: int = field(default=0, compare=True)
+    action: Optional[Callable[[], Any]] = field(default=None, compare=False)
+    name: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the queue skips it when it reaches the front."""
+        self.cancelled = True
+
+    def fire(self) -> Any:
+        """Run the event's action (no-op for cancelled or action-less events)."""
+        if self.cancelled or self.action is None:
+            return None
+        return self.action()
+
+
+class EventQueue:
+    """A priority queue of :class:`Event` ordered by time."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(
+        self,
+        time: float,
+        action: Callable[[], Any],
+        priority: int = 0,
+        name: str = "",
+    ) -> Event:
+        """Schedule ``action`` at ``time`` and return the event handle."""
+        event = Event(
+            time=time,
+            priority=priority,
+            seq=next(self._counter),
+            action=action,
+            name=name,
+        )
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest non-cancelled event.
+
+        Raises ``IndexError`` if the queue holds no live events.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            return event
+        raise IndexError("pop from an empty event queue")
+
+    def peek_time(self) -> Optional[float]:
+        """Return the firing time of the next live event, or None if empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously scheduled event (lazy removal)."""
+        if not event.cancelled:
+            event.cancel()
+            self._live -= 1
+
+    def clear(self) -> None:
+        """Drop every pending event."""
+        self._heap.clear()
+        self._live = 0

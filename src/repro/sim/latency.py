@@ -1,0 +1,159 @@
+"""Service-time models for simulated storage nodes and network hops.
+
+The paper's performance SLAs are phrased over latency percentiles
+("99.9 % of reads under 100 ms"), so the fidelity that matters here is the
+*tail* behaviour of per-request service times and how it degrades with load.
+``QueueingLatency`` captures the load-dependent part with an M/M/1-style
+utilisation factor on top of any base distribution.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+class LatencyModel:
+    """Base class: a latency model returns a per-request service time."""
+
+    def sample(self, rng: np.random.Generator) -> float:
+        raise NotImplementedError
+
+    def mean(self) -> float:
+        """Analytic (or estimated) mean service time, used by the ML features."""
+        raise NotImplementedError
+
+
+class ConstantLatency(LatencyModel):
+    """Always the same service time; useful in tests."""
+
+    def __init__(self, value: float) -> None:
+        if value < 0:
+            raise ValueError(f"latency must be non-negative, got {value}")
+        self.value = float(value)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return self.value
+
+    def mean(self) -> float:
+        return self.value
+
+
+class ExponentialLatency(LatencyModel):
+    """Memoryless service times with the given mean."""
+
+    def __init__(self, mean: float) -> None:
+        if mean <= 0:
+            raise ValueError(f"mean must be positive, got {mean}")
+        self._mean = float(mean)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.exponential(self._mean))
+
+    def mean(self) -> float:
+        return self._mean
+
+
+class LogNormalLatency(LatencyModel):
+    """Log-normal service times — the default for storage node reads/writes.
+
+    Parameterised by median and sigma because that is how production latency
+    distributions are usually characterised; the tail index grows with sigma.
+    """
+
+    def __init__(self, median: float, sigma: float = 0.5) -> None:
+        if median <= 0:
+            raise ValueError(f"median must be positive, got {median}")
+        if sigma < 0:
+            raise ValueError(f"sigma must be non-negative, got {sigma}")
+        self.median = float(median)
+        self.sigma = float(sigma)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.lognormal(mean=np.log(self.median), sigma=self.sigma))
+
+    def mean(self) -> float:
+        return float(self.median * np.exp(self.sigma**2 / 2.0))
+
+
+class ParetoLatency(LatencyModel):
+    """Heavy-tailed service times for modelling stragglers / 'unlucky' requests."""
+
+    def __init__(self, scale: float, shape: float = 2.5) -> None:
+        if scale <= 0 or shape <= 1.0:
+            raise ValueError("scale must be > 0 and shape must be > 1 for a finite mean")
+        self.scale = float(scale)
+        self.shape = float(shape)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(self.scale * (1.0 + rng.pareto(self.shape)))
+
+    def mean(self) -> float:
+        return self.scale * self.shape / (self.shape - 1.0)
+
+
+class EmpiricalLatency(LatencyModel):
+    """Resamples from a recorded set of latencies (trace-driven replay)."""
+
+    def __init__(self, samples: Sequence[float]) -> None:
+        arr = np.asarray(list(samples), dtype=float)
+        if arr.size == 0:
+            raise ValueError("empirical latency model needs at least one sample")
+        if np.any(arr < 0):
+            raise ValueError("latency samples must be non-negative")
+        self._samples = arr
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(self._samples[rng.integers(0, self._samples.size)])
+
+    def mean(self) -> float:
+        return float(self._samples.mean())
+
+
+class QueueingLatency(LatencyModel):
+    """Load-dependent latency: base service time inflated by queueing delay.
+
+    Approximates an M/M/1 queue: with utilisation ``rho`` the expected
+    residence time is ``service / (1 - rho)``.  Utilisation is supplied by
+    the owner (a storage node tracks its own offered load vs. capacity), so
+    the model itself stays stateless.  Utilisation is clamped just below 1 so
+    an overloaded node returns very large — but finite — latencies, which is
+    what lets the SLA monitor observe the violation and react.
+    """
+
+    MAX_UTILISATION = 0.99
+
+    def __init__(self, base: LatencyModel) -> None:
+        self.base = base
+        self._utilisation = 0.0
+
+    @property
+    def utilisation(self) -> float:
+        return self._utilisation
+
+    def set_utilisation(self, rho: float) -> None:
+        """Update the utilisation used to inflate subsequent samples."""
+        if rho < 0:
+            raise ValueError(f"utilisation must be non-negative, got {rho}")
+        self._utilisation = min(float(rho), self.MAX_UTILISATION)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        service = self.base.sample(rng)
+        return service / (1.0 - self._utilisation)
+
+    def mean(self) -> float:
+        return self.base.mean() / (1.0 - self._utilisation)
+
+
+def percentile_of(model: LatencyModel, rng: np.random.Generator,
+                  percentile: float, samples: int = 2000) -> float:
+    """Monte-Carlo estimate of a percentile of a latency model.
+
+    Used by the provisioning planner to translate a candidate configuration
+    into an expected SLA percentile before committing to it.
+    """
+    if not 0.0 < percentile <= 100.0:
+        raise ValueError(f"percentile must be in (0, 100], got {percentile}")
+    draws = np.array([model.sample(rng) for _ in range(samples)])
+    return float(np.percentile(draws, percentile))

@@ -1,0 +1,118 @@
+"""Network model: links between nodes/datacenters, partitions, congestion.
+
+The SCADS paper's arbitration story (Section 3.3.1) hinges on what the system
+does when "two datacenters become disconnected" or links are congested; this
+module provides the substrate those experiments inject faults into.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.sim.latency import LatencyModel, LogNormalLatency
+
+
+class NetworkPartitionError(RuntimeError):
+    """Raised when a message is sent across an active network partition."""
+
+
+@dataclass
+class Link:
+    """A directed link between two endpoints (nodes or datacenters)."""
+
+    src: str
+    dst: str
+    latency: LatencyModel = field(default_factory=lambda: LogNormalLatency(0.0005, 0.3))
+    congestion_factor: float = 1.0
+
+    def delay(self, rng: np.random.Generator) -> float:
+        """One-way message delay on this link, including congestion."""
+        return self.latency.sample(rng) * self.congestion_factor
+
+
+@dataclass(frozen=True)
+class Partition:
+    """A network partition separating two groups of endpoints."""
+
+    group_a: FrozenSet[str]
+    group_b: FrozenSet[str]
+
+    def separates(self, src: str, dst: str) -> bool:
+        """True if ``src`` and ``dst`` are on opposite sides of the partition."""
+        return (src in self.group_a and dst in self.group_b) or (
+            src in self.group_b and dst in self.group_a
+        )
+
+
+class NetworkModel:
+    """Tracks links, active partitions, and per-link congestion.
+
+    Endpoints that have no explicit link use the default latency model; this
+    keeps small experiments simple while still letting the failure-injection
+    benches congest or cut specific paths.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        default_latency: Optional[LatencyModel] = None,
+    ) -> None:
+        self._rng = rng
+        self._default_latency = default_latency or LogNormalLatency(0.0005, 0.3)
+        self._links: Dict[Tuple[str, str], Link] = {}
+        self._partitions: Set[Partition] = set()
+        self._congestion: Dict[Tuple[str, str], float] = {}
+
+    def add_link(self, link: Link) -> None:
+        """Register an explicit link (overrides the default latency model)."""
+        self._links[(link.src, link.dst)] = link
+
+    def set_congestion(self, src: str, dst: str, factor: float) -> None:
+        """Multiply delays on ``src -> dst`` by ``factor`` (1.0 clears it)."""
+        if factor < 1.0:
+            raise ValueError(f"congestion factor must be >= 1.0, got {factor}")
+        if factor == 1.0:
+            self._congestion.pop((src, dst), None)
+        else:
+            self._congestion[(src, dst)] = float(factor)
+
+    def partition(self, group_a: Set[str], group_b: Set[str]) -> Partition:
+        """Install a partition separating the two endpoint groups."""
+        overlap = set(group_a) & set(group_b)
+        if overlap:
+            raise ValueError(f"partition groups overlap: {sorted(overlap)}")
+        part = Partition(frozenset(group_a), frozenset(group_b))
+        self._partitions.add(part)
+        return part
+
+    def heal(self, partition: Partition) -> None:
+        """Remove a previously installed partition."""
+        self._partitions.discard(partition)
+
+    def heal_all(self) -> None:
+        """Remove every active partition."""
+        self._partitions.clear()
+
+    def is_reachable(self, src: str, dst: str) -> bool:
+        """True unless an active partition separates the endpoints."""
+        return not any(p.separates(src, dst) for p in self._partitions)
+
+    def delay(self, src: str, dst: str) -> float:
+        """One-way message delay from ``src`` to ``dst``.
+
+        Raises :class:`NetworkPartitionError` if the endpoints are partitioned.
+        """
+        if src == dst:
+            return 0.0
+        if not self.is_reachable(src, dst):
+            raise NetworkPartitionError(f"{src} cannot reach {dst}: network partition")
+        link = self._links.get((src, dst))
+        if link is not None:
+            base = link.delay(self._rng)
+        else:
+            base = self._default_latency.sample(self._rng)
+        factor = self._congestion.get((src, dst), 1.0)
+        return base * factor

@@ -1,0 +1,122 @@
+"""Reproducible random streams and the heavy-tailed distributions Web 2.0
+workloads need (Zipfian key popularity, Pareto session lengths, log-normal
+service times)."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+
+class RandomStreams:
+    """A registry of named, independently-seeded random generators.
+
+    Giving each component its own stream (``streams.get("arrivals")``,
+    ``streams.get("service")``, ...) means changing how one component consumes
+    randomness does not perturb every other component — experiments stay
+    comparable across code changes.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = int(seed)
+        self._streams: Dict[str, np.random.Generator] = {}
+
+    @property
+    def seed(self) -> int:
+        return self._seed
+
+    def get(self, name: str) -> np.random.Generator:
+        """Return (creating on first use) the generator for ``name``."""
+        if name not in self._streams:
+            derived = np.random.SeedSequence([self._seed, _stable_hash(name)])
+            self._streams[name] = np.random.default_rng(derived)
+        return self._streams[name]
+
+
+def _stable_hash(name: str) -> int:
+    """A hash of ``name`` that is stable across Python processes.
+
+    ``hash()`` is salted per-process for strings, so we roll a small FNV-1a
+    instead.
+    """
+    value = 0xCBF29CE484222325
+    for byte in name.encode("utf-8"):
+        value ^= byte
+        value = (value * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return value
+
+
+class ZipfGenerator:
+    """Draws integers in ``[0, n)`` with Zipfian popularity skew.
+
+    Used for key popularity: a small number of users/objects receive most of
+    the traffic, which is what makes hot-range detection and repartitioning
+    in the storage substrate meaningful.
+    """
+
+    def __init__(self, n: int, theta: float, rng: np.random.Generator) -> None:
+        if n <= 0:
+            raise ValueError(f"n must be positive, got {n}")
+        if not 0.0 <= theta < 1.0:
+            raise ValueError(f"theta must be in [0, 1), got {theta}")
+        self.n = n
+        self.theta = theta
+        self._rng = rng
+        ranks = np.arange(1, n + 1, dtype=float)
+        weights = 1.0 / np.power(ranks, theta)
+        self._cdf = np.cumsum(weights) / np.sum(weights)
+
+    def draw(self) -> int:
+        """Draw a single item index (0-based, 0 is the most popular)."""
+        u = self._rng.random()
+        return int(np.searchsorted(self._cdf, u))
+
+    def draw_many(self, count: int) -> np.ndarray:
+        """Draw ``count`` item indices at once."""
+        u = self._rng.random(count)
+        return np.searchsorted(self._cdf, u).astype(int)
+
+
+def pareto_sample(rng: np.random.Generator, shape: float, scale: float) -> float:
+    """One draw from a Pareto distribution with the given shape and scale."""
+    if shape <= 0 or scale <= 0:
+        raise ValueError("pareto shape and scale must be positive")
+    return float(scale * (1.0 + rng.pareto(shape)))
+
+
+def lognormal_sample(rng: np.random.Generator, median: float, sigma: float) -> float:
+    """One draw from a log-normal distribution parameterised by its median."""
+    if median <= 0:
+        raise ValueError("median must be positive")
+    return float(rng.lognormal(mean=np.log(median), sigma=sigma))
+
+
+def exponential_sample(rng: np.random.Generator, mean: float) -> float:
+    """One draw from an exponential distribution with the given mean."""
+    if mean <= 0:
+        raise ValueError("mean must be positive")
+    return float(rng.exponential(mean))
+
+
+def weighted_choice(rng: np.random.Generator, weights: Dict[str, float]) -> str:
+    """Pick a key from ``weights`` with probability proportional to its value."""
+    if not weights:
+        raise ValueError("weights must not be empty")
+    keys = list(weights.keys())
+    values = np.array([weights[k] for k in keys], dtype=float)
+    if np.any(values < 0):
+        raise ValueError("weights must be non-negative")
+    total = values.sum()
+    if total <= 0:
+        raise ValueError("at least one weight must be positive")
+    probabilities = values / total
+    index = rng.choice(len(keys), p=probabilities)
+    return keys[int(index)]
+
+
+def shuffled(rng: np.random.Generator, items: Sequence) -> list:
+    """Return a shuffled copy of ``items`` without mutating the original."""
+    copy = list(items)
+    rng.shuffle(copy)
+    return copy

@@ -1,0 +1,131 @@
+"""The discrete-event simulator driving every experiment in the repository."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.sim.clock import VirtualClock
+from repro.sim.events import Event, EventQueue
+from repro.sim.randomness import RandomStreams
+
+
+class Simulator:
+    """Owns the virtual clock, the event queue, and the random streams.
+
+    Components schedule work with :meth:`schedule` / :meth:`schedule_at` and
+    the experiment harness drives time forward with :meth:`run_until` or
+    :meth:`run`.  Periodic activities (SLA monitoring, provisioning loops,
+    billing ticks) use :meth:`schedule_periodic`.
+    """
+
+    def __init__(self, seed: int = 0, start: float = 0.0) -> None:
+        self.clock = VirtualClock(start=start)
+        self.queue = EventQueue()
+        self.random = RandomStreams(seed)
+        self._event_count = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self.clock.now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events that have fired so far."""
+        return self._event_count
+
+    def schedule(
+        self,
+        delay: float,
+        action: Callable[[], Any],
+        priority: int = 0,
+        name: str = "",
+    ) -> Event:
+        """Schedule ``action`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        return self.queue.push(self.now + delay, action, priority=priority, name=name)
+
+    def schedule_at(
+        self,
+        time: float,
+        action: Callable[[], Any],
+        priority: int = 0,
+        name: str = "",
+    ) -> Event:
+        """Schedule ``action`` at an absolute simulated time."""
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule at {time:.6f}, which is before now ({self.now:.6f})"
+            )
+        return self.queue.push(time, action, priority=priority, name=name)
+
+    def schedule_periodic(
+        self,
+        interval: float,
+        action: Callable[[], Any],
+        start_delay: Optional[float] = None,
+        name: str = "",
+    ) -> Callable[[], None]:
+        """Run ``action`` every ``interval`` seconds until cancelled.
+
+        Returns a zero-argument callable that cancels the periodic activity.
+        """
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        state = {"cancelled": False, "event": None}
+
+        def tick() -> None:
+            if state["cancelled"]:
+                return
+            action()
+            state["event"] = self.schedule(interval, tick, name=name)
+
+        first_delay = interval if start_delay is None else start_delay
+        state["event"] = self.schedule(first_delay, tick, name=name)
+
+        def cancel() -> None:
+            state["cancelled"] = True
+            event = state["event"]
+            if event is not None:
+                self.queue.cancel(event)
+
+        return cancel
+
+    def step(self) -> bool:
+        """Fire the next event.  Returns False if the queue was empty."""
+        if not self.queue:
+            return False
+        event = self.queue.pop()
+        self.clock.advance_to(event.time)
+        event.fire()
+        self._event_count += 1
+        return True
+
+    def run_until(self, end_time: float, max_events: Optional[int] = None) -> float:
+        """Process events until the clock reaches ``end_time``.
+
+        Events scheduled exactly at ``end_time`` are processed.  The clock is
+        left at ``end_time`` even if the queue drains earlier, so that
+        duration-based accounting (billing, SLA windows) sees the full span.
+        """
+        processed = 0
+        while True:
+            next_time = self.queue.peek_time()
+            if next_time is None or next_time > end_time:
+                break
+            self.step()
+            processed += 1
+            if max_events is not None and processed >= max_events:
+                break
+        if self.now < end_time:
+            self.clock.advance_to(end_time)
+        return self.now
+
+    def run(self, max_events: int = 1_000_000) -> float:
+        """Process events until the queue is empty or ``max_events`` fire."""
+        processed = 0
+        while self.queue and processed < max_events:
+            self.step()
+            processed += 1
+        return self.now

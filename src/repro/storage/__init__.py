@@ -1,0 +1,40 @@
+"""Distributed storage substrate.
+
+An in-process, discrete-event-simulated stand-in for the range-partitioned,
+replicated column store (Cassandra) the paper plans to build on.  It provides
+ordered per-namespace key/value storage on simulated nodes, range and
+consistent-hash partitioning, asynchronous (lazy) replication with observable
+lag, quorum operations, live data movement for elastic scaling, a durability
+model, and failure injection.
+"""
+
+from repro.storage.records import KeyRange, Record, VersionedValue
+from repro.storage.node import NodeStats, StorageNode
+from repro.storage.partitioner import (
+    ConsistentHashPartitioner,
+    Partitioner,
+    RangePartitioner,
+)
+from repro.storage.replication import ReplicaGroup, ReplicationEngine
+from repro.storage.router import RequestResult, Router
+from repro.storage.cluster import Cluster
+from repro.storage.durability import DurabilityModel
+from repro.storage.failure import FailureInjector
+
+__all__ = [
+    "Record",
+    "VersionedValue",
+    "KeyRange",
+    "StorageNode",
+    "NodeStats",
+    "Partitioner",
+    "RangePartitioner",
+    "ConsistentHashPartitioner",
+    "ReplicaGroup",
+    "ReplicationEngine",
+    "Router",
+    "RequestResult",
+    "Cluster",
+    "DurabilityModel",
+    "FailureInjector",
+]

@@ -1,0 +1,243 @@
+"""Cluster manager: nodes, replica groups, partitioning, and data movement.
+
+The cluster is the thing the provisioning controller scales.  Capacity is
+added and removed in units of *replica groups* (a primary plus R-1 replicas),
+which keeps the replication factor — and therefore the durability SLA —
+invariant under scaling.  Adding or removing a group triggers live data
+movement driven by the partitioner's new ownership map.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.sim.network import NetworkModel
+from repro.sim.simulator import Simulator
+from repro.storage.node import StorageNode
+from repro.storage.partitioner import (
+    ConsistentHashPartitioner,
+    Partitioner,
+    RangePartitioner,
+)
+from repro.storage.records import Key, KeyRange
+from repro.storage.replication import ReplicaGroup, ReplicationEngine
+
+
+@dataclass
+class ClusterStats:
+    """Aggregate load/size statistics the autoscaler's features are built from."""
+
+    node_count: int
+    group_count: int
+    total_keys: int
+    total_arrival_rate: float
+    mean_utilisation: float
+    max_utilisation: float
+    total_capacity_ops: float
+
+
+class Cluster:
+    """A simulated elastic storage cluster.
+
+    Args:
+        simulator: discrete-event simulator shared by all components.
+        replication_factor: nodes per replica group.
+        initial_groups: number of replica groups to start with.
+        node_capacity_ops: per-node sustainable ops/sec.
+        partitioner_kind: ``"hash"`` (consistent hashing, default) or ``"range"``.
+        movement_rate_keys_per_sec: how fast data movement proceeds; used to
+            account a rebalance duration so scale-up is not instantaneous.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        replication_factor: int = 3,
+        initial_groups: int = 2,
+        node_capacity_ops: float = 1000.0,
+        node_base_latency: float = 0.004,
+        partitioner_kind: str = "hash",
+        movement_rate_keys_per_sec: float = 50_000.0,
+    ) -> None:
+        if replication_factor < 1:
+            raise ValueError(f"replication factor must be >= 1, got {replication_factor}")
+        if initial_groups < 1:
+            raise ValueError(f"initial_groups must be >= 1, got {initial_groups}")
+        self.sim = simulator
+        self.replication_factor = replication_factor
+        self.node_capacity_ops = node_capacity_ops
+        self.node_base_latency = node_base_latency
+        self.movement_rate_keys_per_sec = movement_rate_keys_per_sec
+        self.network = NetworkModel(simulator.random.get("network"))
+        self.nodes: Dict[str, StorageNode] = {}
+        self.groups: Dict[str, ReplicaGroup] = {}
+        self._node_counter = itertools.count()
+        self._group_counter = itertools.count()
+        self._keys_moved_total = 0
+        self._rebalance_count = 0
+
+        if partitioner_kind == "hash":
+            self.partitioner: Partitioner = ConsistentHashPartitioner()
+        elif partitioner_kind == "range":
+            # The range partitioner requires a group at construction time, so
+            # it is seeded with the id the first add_replica_group() will use.
+            self.partitioner = RangePartitioner(group_ids=[self._peek_group_id()])
+        else:
+            raise ValueError(f"unknown partitioner kind: {partitioner_kind!r}")
+
+        self.replication = ReplicationEngine(
+            simulator=simulator,
+            network=self.network,
+            nodes=self.nodes,
+        )
+
+        for _ in range(initial_groups):
+            self.add_replica_group()
+
+    # ------------------------------------------------------------------ naming
+
+    def _peek_group_id(self) -> str:
+        return f"group-{0}"
+
+    def _new_group_id(self) -> str:
+        return f"group-{next(self._group_counter)}"
+
+    def _new_node_id(self, group_id: str) -> str:
+        return f"node-{next(self._node_counter)}@{group_id}"
+
+    # ----------------------------------------------------------------- scaling
+
+    def add_replica_group(self) -> ReplicaGroup:
+        """Provision a new replica group and rebalance data onto it."""
+        group_id = self._new_group_id()
+        node_ids = []
+        for _ in range(self.replication_factor):
+            node_id = self._new_node_id(group_id)
+            node = StorageNode(
+                node_id=node_id,
+                rng=self.sim.random.get(f"node:{node_id}"),
+                capacity_ops_per_sec=self.node_capacity_ops,
+                base_median_latency=self.node_base_latency,
+            )
+            self.nodes[node_id] = node
+            node_ids.append(node_id)
+        group = ReplicaGroup(group_id=group_id, node_ids=node_ids)
+        self.groups[group_id] = group
+        if isinstance(self.partitioner, RangePartitioner) and group_id == "group-0":
+            # The range partitioner was constructed with this group id already.
+            pass
+        else:
+            self.partitioner.add_group(group_id)
+        if len(self.groups) > 1:
+            self._rebalance()
+        return group
+
+    def remove_replica_group(self, group_id: str) -> None:
+        """Decommission a replica group after moving its data to the new owners."""
+        if group_id not in self.groups:
+            raise KeyError(f"unknown replica group {group_id!r}")
+        if len(self.groups) == 1:
+            raise ValueError("cannot remove the last replica group")
+        group = self.groups[group_id]
+        self.partitioner.remove_group(group_id)
+        # Move every key the departing group holds to its new owner.
+        primary = self.nodes[group.primary]
+        moved = 0
+        for namespace in primary.namespaces():
+            for key, value in primary.scan_namespace(namespace):
+                target_group = self.groups[self.partitioner.group_for_key(namespace, key)]
+                for node_id in target_group.node_ids:
+                    self.nodes[node_id].apply_replica_write(namespace, key, value)
+                moved += 1
+        self._keys_moved_total += moved
+        for node_id in group.node_ids:
+            self.nodes[node_id].wipe()
+            del self.nodes[node_id]
+        del self.groups[group_id]
+        self._rebalance_count += 1
+
+    def _rebalance(self) -> float:
+        """Move keys whose owner changed to their new replica group.
+
+        Returns the simulated duration of the movement (keys moved divided by
+        the movement rate); callers that model rebalance latency can use it.
+        """
+        moved = 0
+        for group in list(self.groups.values()):
+            primary = self.nodes[group.primary]
+            for namespace in primary.namespaces():
+                to_move: List[Tuple[Key, object]] = []
+                for key, value in primary.scan_namespace(namespace):
+                    owner = self.partitioner.group_for_key(namespace, key)
+                    if owner != group.group_id:
+                        to_move.append((key, value))
+                for key, value in to_move:
+                    target_group = self.groups[self.partitioner.group_for_key(namespace, key)]
+                    for node_id in target_group.node_ids:
+                        self.nodes[node_id].apply_replica_write(namespace, key, value)
+                    for node_id in group.node_ids:
+                        node = self.nodes[node_id]
+                        if node.alive:
+                            # Remove the migrated copy directly; this is data
+                            # movement, not a client delete, so no tombstone.
+                            store = node._store(namespace)  # noqa: SLF001 - cluster owns its nodes
+                            store.delete(key)
+                    moved += 1
+        self._keys_moved_total += moved
+        self._rebalance_count += 1
+        if self.movement_rate_keys_per_sec <= 0:
+            return 0.0
+        return moved / self.movement_rate_keys_per_sec
+
+    # ----------------------------------------------------------------- routing
+
+    def group_for_key(self, namespace: str, key: Key) -> ReplicaGroup:
+        return self.groups[self.partitioner.group_for_key(namespace, key)]
+
+    def groups_for_range(self, key_range: KeyRange) -> List[ReplicaGroup]:
+        return [self.groups[g] for g in self.partitioner.groups_for_range(key_range)]
+
+    # ------------------------------------------------------------------- stats
+
+    def node_count(self) -> int:
+        return len(self.nodes)
+
+    def group_count(self) -> int:
+        return len(self.groups)
+
+    def total_keys(self) -> int:
+        """Live keys counted at primaries (replica copies are not double counted)."""
+        return sum(self.nodes[g.primary].key_count() for g in self.groups.values())
+
+    def decay_load(self) -> None:
+        """Let idle nodes' load estimates decay (run periodically)."""
+        now = self.sim.now
+        for node in self.nodes.values():
+            if node.alive:
+                node.decay_load(now)
+
+    def stats(self) -> ClusterStats:
+        alive = [n for n in self.nodes.values() if n.alive]
+        utilisations = [n.utilisation() for n in alive] or [0.0]
+        return ClusterStats(
+            node_count=len(self.nodes),
+            group_count=len(self.groups),
+            total_keys=self.total_keys(),
+            total_arrival_rate=float(sum(n.arrival_rate() for n in alive)),
+            mean_utilisation=float(np.mean(utilisations)),
+            max_utilisation=float(np.max(utilisations)),
+            total_capacity_ops=float(sum(n.capacity_ops_per_sec for n in alive)),
+        )
+
+    @property
+    def keys_moved_total(self) -> int:
+        """Total keys moved by all rebalances (data-movement cost metric)."""
+        return self._keys_moved_total
+
+    @property
+    def rebalance_count(self) -> int:
+        return self._rebalance_count

@@ -1,0 +1,141 @@
+"""Failure injection: node crashes, network partitions, link congestion.
+
+The arbitration experiment (E9), the durability experiment (E10), and the
+availability half of the performance SLA all need controlled faults.  The
+injector schedules fault begin/end events on the shared simulator so faults
+interleave naturally with the workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.sim.network import Partition
+from repro.storage.cluster import Cluster
+
+
+@dataclass
+class FaultRecord:
+    """One injected fault, for experiment reporting."""
+
+    kind: str
+    target: str
+    start: float
+    end: Optional[float]
+
+
+class FailureInjector:
+    """Schedules faults against a cluster."""
+
+    def __init__(self, cluster: Cluster) -> None:
+        self._cluster = cluster
+        self._sim = cluster.sim
+        self._faults: List[FaultRecord] = []
+        self._failure_rng = cluster.sim.random.get("failure-injector")
+
+    # ------------------------------------------------------------------ crashes
+
+    def crash_node(self, node_id: str, at: float, duration: Optional[float] = None) -> FaultRecord:
+        """Crash a node at time ``at``; recover it after ``duration`` if given."""
+        if node_id not in self._cluster.nodes:
+            raise KeyError(f"unknown node {node_id!r}")
+        record = FaultRecord(kind="node-crash", target=node_id, start=at,
+                             end=None if duration is None else at + duration)
+        self._faults.append(record)
+
+        def go_down() -> None:
+            node = self._cluster.nodes.get(node_id)
+            if node is not None:
+                node.crash()
+
+        def come_back() -> None:
+            node = self._cluster.nodes.get(node_id)
+            if node is not None:
+                node.recover()
+
+        self._sim.schedule_at(at, go_down, name=f"crash:{node_id}")
+        if duration is not None:
+            self._sim.schedule_at(at + duration, come_back, name=f"recover:{node_id}")
+        return record
+
+    def crash_random_nodes(self, count: int, at: float, duration: float) -> List[FaultRecord]:
+        """Crash ``count`` random alive nodes simultaneously."""
+        alive = [node_id for node_id, node in self._cluster.nodes.items() if node.alive]
+        if count > len(alive):
+            raise ValueError(f"cannot crash {count} nodes, only {len(alive)} alive")
+        chosen = list(self._failure_rng.choice(alive, size=count, replace=False))
+        return [self.crash_node(node_id, at, duration) for node_id in chosen]
+
+    # --------------------------------------------------------------- partitions
+
+    def partition_groups(
+        self,
+        group_ids_a: Set[str],
+        group_ids_b: Set[str],
+        at: float,
+        duration: Optional[float] = None,
+        isolate_clients_from: str = "b",
+    ) -> FaultRecord:
+        """Partition the nodes of two sets of replica groups from each other.
+
+        ``isolate_clients_from`` chooses which side also loses client
+        connectivity ("a", "b", or "none"), modelling the paper's
+        disconnected-datacenter scenario where clients can reach only one side.
+        """
+        nodes_a = {nid for gid in group_ids_a for nid in self._cluster.groups[gid].node_ids}
+        nodes_b = {nid for gid in group_ids_b for nid in self._cluster.groups[gid].node_ids}
+        # The client endpoint joins the side it can still reach, so it is cut
+        # off from the side named by ``isolate_clients_from``.
+        if isolate_clients_from == "a":
+            nodes_b = nodes_b | {"client"}
+        elif isolate_clients_from == "b":
+            nodes_a = nodes_a | {"client"}
+        elif isolate_clients_from != "none":
+            raise ValueError("isolate_clients_from must be 'a', 'b', or 'none'")
+        record = FaultRecord(
+            kind="partition",
+            target=f"{sorted(group_ids_a)}|{sorted(group_ids_b)}",
+            start=at,
+            end=None if duration is None else at + duration,
+        )
+        self._faults.append(record)
+        state: Dict[str, Optional[Partition]] = {"partition": None}
+
+        def install() -> None:
+            state["partition"] = self._cluster.network.partition(nodes_a, nodes_b)
+
+        def heal() -> None:
+            if state["partition"] is not None:
+                self._cluster.network.heal(state["partition"])
+
+        self._sim.schedule_at(at, install, name="partition")
+        if duration is not None:
+            self._sim.schedule_at(at + duration, heal, name="heal-partition")
+        return record
+
+    # --------------------------------------------------------------- congestion
+
+    def congest_link(self, src: str, dst: str, factor: float, at: float,
+                     duration: Optional[float] = None) -> FaultRecord:
+        """Multiply delays on one link by ``factor`` for ``duration`` seconds."""
+        record = FaultRecord(kind="congestion", target=f"{src}->{dst}", start=at,
+                             end=None if duration is None else at + duration)
+        self._faults.append(record)
+
+        def begin() -> None:
+            self._cluster.network.set_congestion(src, dst, factor)
+
+        def clear() -> None:
+            self._cluster.network.set_congestion(src, dst, 1.0)
+
+        self._sim.schedule_at(at, begin, name="congest")
+        if duration is not None:
+            self._sim.schedule_at(at + duration, clear, name="uncongest")
+        return record
+
+    # ---------------------------------------------------------------- reporting
+
+    def faults(self) -> List[FaultRecord]:
+        """Every fault injected so far, in injection order."""
+        return list(self._faults)

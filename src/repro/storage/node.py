@@ -1,0 +1,315 @@
+"""A simulated storage node.
+
+Each node holds ordered per-namespace key/value maps and models its own
+request latency.  Latency is load-dependent: the node keeps an exponentially
+weighted estimate of its arrival rate, derives a utilisation against its
+configured capacity, and inflates a base log-normal service time with an
+M/M/1-style queueing factor.  An overloaded node therefore produces exactly
+the tail-latency degradation the SLA monitor and autoscaler are built to
+detect and correct.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.sim.latency import LogNormalLatency, QueueingLatency
+from repro.storage.records import Key, KeyRange, VersionedValue, validate_key
+
+
+class NodeDownError(RuntimeError):
+    """Raised when an operation is attempted on a crashed node."""
+
+
+@dataclass
+class NodeStats:
+    """Counters a node exposes to the cluster manager and the ML features."""
+
+    reads: int = 0
+    writes: int = 0
+    range_reads: int = 0
+    keys_stored: int = 0
+    arrival_rate: float = 0.0
+    utilisation: float = 0.0
+
+
+class _NamespaceStore:
+    """An ordered map for one namespace on one node.
+
+    Implemented as a dict plus a sorted key list maintained with ``bisect`` —
+    O(log n) point lookups and O(log n + k) range scans, which is the access
+    profile the SCADS query model restricts itself to.
+    """
+
+    def __init__(self) -> None:
+        self._data: Dict[Key, VersionedValue] = {}
+        self._sorted_keys: List[Key] = []
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get(self, key: Key) -> Optional[VersionedValue]:
+        return self._data.get(key)
+
+    def put(self, key: Key, value: VersionedValue) -> None:
+        if key not in self._data:
+            bisect.insort(self._sorted_keys, key)
+        self._data[key] = value
+
+    def delete(self, key: Key) -> bool:
+        if key not in self._data:
+            return False
+        del self._data[key]
+        index = bisect.bisect_left(self._sorted_keys, key)
+        if index < len(self._sorted_keys) and self._sorted_keys[index] == key:
+            self._sorted_keys.pop(index)
+        return True
+
+    def range(self, start: Optional[Key], end: Optional[Key],
+              limit: Optional[int] = None,
+              reverse: bool = False) -> List[Tuple[Key, VersionedValue]]:
+        """All (key, value) pairs with start <= key < end, in key order.
+
+        With ``reverse=True`` the scan walks backwards from the end of the
+        range (still returning keys in descending order), so a LIMIT on a
+        descending query reads only ``limit`` entries.
+        """
+        lo = 0 if start is None else bisect.bisect_left(self._sorted_keys, start)
+        hi = len(self._sorted_keys) if end is None else bisect.bisect_left(self._sorted_keys, end)
+        keys = self._sorted_keys[lo:hi]
+        if reverse:
+            keys = keys[::-1]
+        if limit is not None:
+            keys = keys[:limit]
+        return [(k, self._data[k]) for k in keys]
+
+    def keys(self) -> Iterator[Key]:
+        return iter(self._sorted_keys)
+
+
+class StorageNode:
+    """One simulated storage server.
+
+    Args:
+        node_id: unique identifier (also used as a network endpoint).
+        rng: random generator for service-time sampling.
+        capacity_ops_per_sec: sustainable request rate before queueing delay
+            dominates; the autoscaler reasons in these units.
+        base_median_latency: median service time at low load, in seconds.
+        rate_ewma_alpha: smoothing factor for the arrival-rate estimate.
+    """
+
+    def __init__(
+        self,
+        node_id: str,
+        rng: np.random.Generator,
+        capacity_ops_per_sec: float = 1000.0,
+        base_median_latency: float = 0.004,
+        latency_sigma: float = 0.45,
+        rate_ewma_alpha: float = 0.2,
+    ) -> None:
+        if capacity_ops_per_sec <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity_ops_per_sec}")
+        self.node_id = node_id
+        self.capacity_ops_per_sec = float(capacity_ops_per_sec)
+        self._rng = rng
+        self._latency = QueueingLatency(LogNormalLatency(base_median_latency, latency_sigma))
+        self._rate_ewma_alpha = rate_ewma_alpha
+        self._namespaces: Dict[str, _NamespaceStore] = {}
+        self._stats = NodeStats()
+        self._last_arrival: Optional[float] = None
+        self._ewma_interarrival: Optional[float] = None
+        self._alive = True
+
+    # ------------------------------------------------------------------ state
+
+    @property
+    def alive(self) -> bool:
+        return self._alive
+
+    def crash(self) -> None:
+        """Mark the node as failed; subsequent operations raise NodeDownError."""
+        self._alive = False
+
+    def recover(self) -> None:
+        """Bring a crashed node back (its data survives, as on a reboot)."""
+        self._alive = True
+
+    def wipe(self) -> None:
+        """Drop all data (decommissioning / fresh instance)."""
+        self._namespaces.clear()
+        self._stats.keys_stored = 0
+
+    def _check_alive(self) -> None:
+        if not self._alive:
+            raise NodeDownError(f"node {self.node_id} is down")
+
+    # -------------------------------------------------------------- load model
+
+    def _record_arrival(self, now: float) -> None:
+        if self._last_arrival is not None:
+            gap = max(now - self._last_arrival, 1e-6)
+            if self._ewma_interarrival is None:
+                self._ewma_interarrival = gap
+            else:
+                alpha = self._rate_ewma_alpha
+                self._ewma_interarrival = alpha * gap + (1 - alpha) * self._ewma_interarrival
+        self._last_arrival = now
+        rate = self.arrival_rate()
+        self._stats.arrival_rate = rate
+        utilisation = rate / self.capacity_ops_per_sec
+        self._latency.set_utilisation(utilisation)
+        self._stats.utilisation = self._latency.utilisation
+
+    def arrival_rate(self) -> float:
+        """Current smoothed arrival rate estimate in ops/sec."""
+        if self._ewma_interarrival is None or self._ewma_interarrival <= 0:
+            return 0.0
+        return 1.0 / self._ewma_interarrival
+
+    def utilisation(self) -> float:
+        """Current utilisation estimate (0..~1)."""
+        return self._latency.utilisation
+
+    def decay_load(self, now: float) -> None:
+        """Decay the arrival-rate estimate when traffic has stopped arriving.
+
+        Without this, a node that suddenly stops receiving requests would
+        keep reporting its last (possibly very high) utilisation forever and
+        the autoscaler could never scale down.
+        """
+        if self._last_arrival is None or self._ewma_interarrival is None:
+            return
+        idle_gap = now - self._last_arrival
+        if idle_gap > self._ewma_interarrival:
+            self._ewma_interarrival = (
+                self._rate_ewma_alpha * idle_gap
+                + (1 - self._rate_ewma_alpha) * self._ewma_interarrival
+            )
+            self._last_arrival = now
+            self._stats.arrival_rate = self.arrival_rate()
+            self._latency.set_utilisation(self.arrival_rate() / self.capacity_ops_per_sec)
+            self._stats.utilisation = self._latency.utilisation
+
+    def service_time(self) -> float:
+        """Sample a service time at the node's current utilisation."""
+        return self._latency.sample(self._rng)
+
+    # ------------------------------------------------------------------- data
+
+    def _store(self, namespace: str) -> _NamespaceStore:
+        if namespace not in self._namespaces:
+            self._namespaces[namespace] = _NamespaceStore()
+        return self._namespaces[namespace]
+
+    def peek(self, namespace: str, key: Key) -> Optional[VersionedValue]:
+        """Read the current version of a key without touching the load model.
+
+        Used by the write path to determine the next version number and by
+        replication/consistency internals; client reads go through :meth:`get`.
+        """
+        self._check_alive()
+        value = self._store(namespace).get(key)
+        if value is not None and value.tombstone:
+            return None
+        return value
+
+    def get(self, namespace: str, key: Key, now: float) -> Tuple[Optional[VersionedValue], float]:
+        """Point read.  Returns (value-or-None, simulated service latency)."""
+        self._check_alive()
+        validate_key(key)
+        self._record_arrival(now)
+        self._stats.reads += 1
+        value = self._store(namespace).get(key)
+        if value is not None and value.tombstone:
+            value = None
+        return value, self.service_time()
+
+    def put(self, namespace: str, key: Key, value: VersionedValue, now: float) -> float:
+        """Point write.  Returns the simulated service latency."""
+        self._check_alive()
+        validate_key(key)
+        self._record_arrival(now)
+        self._stats.writes += 1
+        store = self._store(namespace)
+        existed = store.get(key) is not None
+        store.put(key, value)
+        if not existed:
+            self._stats.keys_stored += 1
+        return self.service_time()
+
+    def apply_replica_write(self, namespace: str, key: Key, value: VersionedValue) -> bool:
+        """Apply an asynchronously replicated write, respecting last-write-wins.
+
+        Replica application does not count against the node's request load —
+        in a real system it rides the background replication path.  Returns
+        True if the value was applied, False if a newer value was already
+        present.
+        """
+        self._check_alive()
+        store = self._store(namespace)
+        current = store.get(key)
+        if current is not None and not value.wins_over(current):
+            return False
+        if current is None:
+            self._stats.keys_stored += 1
+        store.put(key, value)
+        return True
+
+    def delete(self, namespace: str, key: Key, tombstone: VersionedValue, now: float) -> float:
+        """Delete via tombstone so replication can propagate the deletion."""
+        self._check_alive()
+        validate_key(key)
+        self._record_arrival(now)
+        self._stats.writes += 1
+        self._store(namespace).put(key, tombstone)
+        return self.service_time()
+
+    def get_range(
+        self,
+        key_range: KeyRange,
+        now: float,
+        limit: Optional[int] = None,
+        reverse: bool = False,
+    ) -> Tuple[List[Tuple[Key, VersionedValue]], float]:
+        """Bounded contiguous range read — the only scan SCADS queries perform.
+
+        Latency scales mildly with the number of returned entries (sequential
+        reads of adjacent keys), preserving the paper's claim that bounded
+        ranges keep per-query cost constant as the *user base* grows.
+        """
+        self._check_alive()
+        self._record_arrival(now)
+        self._stats.range_reads += 1
+        store = self._store(key_range.namespace)
+        rows = [
+            (key, value)
+            for key, value in store.range(key_range.start, key_range.end, limit, reverse)
+            if not value.tombstone
+        ]
+        per_row_cost = 0.00002  # 20 microseconds per adjacent row
+        latency = self.service_time() + per_row_cost * len(rows)
+        return rows, latency
+
+    def scan_namespace(self, namespace: str) -> List[Tuple[Key, VersionedValue]]:
+        """Full scan of one namespace, used only for data movement and tests."""
+        self._check_alive()
+        store = self._store(namespace)
+        return [(key, store.get(key)) for key in store.keys()]
+
+    def namespaces(self) -> List[str]:
+        return sorted(self._namespaces.keys())
+
+    def key_count(self, namespace: Optional[str] = None) -> int:
+        """Number of live keys stored, optionally restricted to one namespace."""
+        if namespace is not None:
+            return len(self._namespaces.get(namespace, _NamespaceStore()))
+        return sum(len(store) for store in self._namespaces.values())
+
+    @property
+    def stats(self) -> NodeStats:
+        return self._stats

@@ -1,0 +1,236 @@
+"""Partitioners: map keys (and bounded key ranges) to replica groups.
+
+SCADS queries are prefix-range lookups keyed by a partition key (typically a
+user id), so both partitioners guarantee that such a range lands on exactly
+one replica group — the paper's "at most one read from a small constant
+number of computers" property.  Two strategies are provided:
+
+* :class:`ConsistentHashPartitioner` — a hash ring with virtual nodes; adding
+  or removing a replica group moves roughly ``1/n`` of the data, which is what
+  makes fine-grained elastic scaling cheap.
+* :class:`RangePartitioner` — explicit split points over the partition key,
+  closer to how BigTable/HBase shard; useful when key locality matters and as
+  a comparison point in the data-movement ablation.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, List, Optional, Sequence
+
+from repro.storage.records import Key, KeyRange, key_part_successor
+
+
+class PartitionerError(RuntimeError):
+    """Raised for invalid partitioner configurations or unroutable requests."""
+
+
+def partition_token(key: Key) -> str:
+    """The partition key: the first component of the storage key, as a string."""
+    return str(key[0])
+
+
+def _hash64(value: str) -> int:
+    """Stable 64-bit hash used for ring placement (md5 is stable across runs)."""
+    digest = hashlib.md5(value.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class Partitioner:
+    """Interface shared by the partitioning strategies."""
+
+    def groups(self) -> List[str]:
+        """All replica-group ids currently receiving data."""
+        raise NotImplementedError
+
+    def group_for_key(self, namespace: str, key: Key) -> str:
+        """The replica group responsible for ``key``."""
+        raise NotImplementedError
+
+    def groups_for_range(self, key_range: KeyRange) -> List[str]:
+        """The replica groups a bounded range read must contact."""
+        raise NotImplementedError
+
+    def add_group(self, group_id: str) -> None:
+        """Register a new replica group so future routing can use it."""
+        raise NotImplementedError
+
+    def remove_group(self, group_id: str) -> None:
+        """Deregister a replica group (its data must be moved first)."""
+        raise NotImplementedError
+
+
+class ConsistentHashPartitioner(Partitioner):
+    """Consistent hashing over partition tokens with virtual nodes."""
+
+    def __init__(self, group_ids: Sequence[str] = (), virtual_nodes: int = 64) -> None:
+        if virtual_nodes <= 0:
+            raise ValueError(f"virtual_nodes must be positive, got {virtual_nodes}")
+        self._virtual_nodes = virtual_nodes
+        self._ring: List[int] = []
+        self._ring_owners: Dict[int, str] = {}
+        self._groups: List[str] = []
+        for group_id in group_ids:
+            self.add_group(group_id)
+
+    def groups(self) -> List[str]:
+        return list(self._groups)
+
+    def add_group(self, group_id: str) -> None:
+        if group_id in self._groups:
+            raise PartitionerError(f"group {group_id!r} already registered")
+        self._groups.append(group_id)
+        for i in range(self._virtual_nodes):
+            point = _hash64(f"{group_id}#{i}")
+            # Hash collisions between distinct vnode labels are effectively
+            # impossible with a 64-bit space, but keep ownership deterministic
+            # if one ever occurred by preferring the existing owner.
+            if point in self._ring_owners:
+                continue
+            bisect.insort(self._ring, point)
+            self._ring_owners[point] = group_id
+
+    def remove_group(self, group_id: str) -> None:
+        if group_id not in self._groups:
+            raise PartitionerError(f"group {group_id!r} is not registered")
+        self._groups.remove(group_id)
+        remaining_points = []
+        for point in self._ring:
+            if self._ring_owners[point] == group_id:
+                del self._ring_owners[point]
+            else:
+                remaining_points.append(point)
+        self._ring = remaining_points
+        if not self._groups:
+            raise PartitionerError("cannot remove the last replica group")
+
+    def group_for_token(self, token: str) -> str:
+        """The group owning an arbitrary partition token."""
+        if not self._ring:
+            raise PartitionerError("no replica groups registered")
+        point = _hash64(token)
+        index = bisect.bisect_right(self._ring, point)
+        if index == len(self._ring):
+            index = 0
+        return self._ring_owners[self._ring[index]]
+
+    def group_for_key(self, namespace: str, key: Key) -> str:
+        return self.group_for_token(partition_token(key))
+
+    def groups_for_range(self, key_range: KeyRange) -> List[str]:
+        if key_range.start is None or key_range.end is None:
+            # Unbounded scans touch everything; only admin tooling does this.
+            return self.groups()
+        if _single_partition_range(key_range):
+            return [self.group_for_token(partition_token(key_range.start))]
+        # A range spanning partition tokens hashes unpredictably; contact all.
+        return self.groups()
+
+
+def _single_partition_range(key_range: KeyRange) -> bool:
+    """True when every key in the range shares the first key component.
+
+    This holds both for multi-component prefix ranges (start and end keep the
+    same first component) and for single-component prefix ranges, whose end is
+    the immediate successor of the start component (so no other first
+    component can fall strictly inside the range).
+    """
+    assert key_range.start is not None and key_range.end is not None
+    start, end = key_range.start, key_range.end
+    if start[0] == end[0]:
+        return True
+    return len(end) == 1 and end[0] == key_part_successor(start[0])
+
+
+class RangePartitioner(Partitioner):
+    """Explicit split points over the partition token (string ordering)."""
+
+    def __init__(self, group_ids: Sequence[str]) -> None:
+        if not group_ids:
+            raise PartitionerError("range partitioner needs at least one group")
+        self._groups: List[str] = list(group_ids)
+        # Splits are the lower bounds of each partition, first one implicit "".
+        self._splits: List[str] = [""]
+        self._owners: List[str] = [self._groups[0]]
+        if len(self._groups) > 1:
+            self.rebalance_evenly([])
+
+    def groups(self) -> List[str]:
+        return list(self._groups)
+
+    def add_group(self, group_id: str) -> None:
+        if group_id in self._groups:
+            raise PartitionerError(f"group {group_id!r} already registered")
+        self._groups.append(group_id)
+
+    def remove_group(self, group_id: str) -> None:
+        if group_id not in self._groups:
+            raise PartitionerError(f"group {group_id!r} is not registered")
+        if len(self._groups) == 1:
+            raise PartitionerError("cannot remove the last replica group")
+        self._groups.remove(group_id)
+        fallback = self._groups[0]
+        self._owners = [fallback if owner == group_id else owner for owner in self._owners]
+
+    def set_splits(self, splits: Sequence[str], owners: Sequence[str]) -> None:
+        """Install explicit split points; ``splits[i]`` is the lower bound of partition i."""
+        if len(splits) != len(owners):
+            raise PartitionerError("splits and owners must have the same length")
+        if not splits or splits[0] != "":
+            raise PartitionerError('the first split must be "" (unbounded below)')
+        if list(splits) != sorted(splits):
+            raise PartitionerError("splits must be sorted")
+        unknown = set(owners) - set(self._groups)
+        if unknown:
+            raise PartitionerError(f"owners reference unregistered groups: {sorted(unknown)}")
+        self._splits = list(splits)
+        self._owners = list(owners)
+
+    def rebalance_evenly(self, sample_tokens: Sequence[str]) -> None:
+        """Choose split points that spread sampled tokens evenly over groups."""
+        groups = self._groups
+        if len(groups) == 1 or not sample_tokens:
+            self._splits = [""]
+            self._owners = [groups[0]]
+            if len(groups) > 1:
+                # Without samples, fall back to even unicode-prefix splits.
+                self._splits = [""] + [chr(ord("0") + i) for i in range(1, len(groups))]
+                self._owners = list(groups)
+            return
+        ordered = sorted(set(sample_tokens))
+        per_group = max(len(ordered) // len(groups), 1)
+        splits = [""]
+        for i in range(1, len(groups)):
+            index = min(i * per_group, len(ordered) - 1)
+            splits.append(ordered[index])
+        # De-duplicate while preserving order (few distinct samples case).
+        seen = set()
+        unique_splits = []
+        for split in splits:
+            if split not in seen:
+                unique_splits.append(split)
+                seen.add(split)
+        self._splits = unique_splits
+        self._owners = list(groups[: len(unique_splits)])
+
+    def group_for_token(self, token: str) -> str:
+        index = bisect.bisect_right(self._splits, token) - 1
+        return self._owners[index]
+
+    def group_for_key(self, namespace: str, key: Key) -> str:
+        return self.group_for_token(partition_token(key))
+
+    def groups_for_range(self, key_range: KeyRange) -> List[str]:
+        if key_range.start is None or key_range.end is None:
+            return sorted(set(self._owners))
+        start_token = partition_token(key_range.start)
+        end_token = partition_token(key_range.end)
+        start_index = bisect.bisect_right(self._splits, start_token) - 1
+        end_index = bisect.bisect_right(self._splits, end_token) - 1
+        owners = []
+        for index in range(start_index, end_index + 1):
+            owner = self._owners[index]
+            if owner not in owners:
+                owners.append(owner)
+        return owners

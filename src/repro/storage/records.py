@@ -1,0 +1,163 @@
+"""Record, version, and key-range types shared across the storage substrate.
+
+Keys are tuples of comparable primitives (strings, ints, floats).  Tuple keys
+give us composite index keys for free — e.g. a birthday index entry keyed by
+``(user_id, birthday, friend_id)`` — and Python's tuple ordering provides the
+contiguous-range semantics the SCADS query model requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple, Union
+
+KeyPart = Union[str, int, float]
+Key = Tuple[KeyPart, ...]
+
+
+def validate_key(key: Key) -> Key:
+    """Check that a key is a non-empty tuple of comparable primitives."""
+    if not isinstance(key, tuple):
+        raise TypeError(f"keys must be tuples, got {type(key).__name__}: {key!r}")
+    if not key:
+        raise ValueError("keys must not be empty")
+    for part in key:
+        if not isinstance(part, (str, int, float)) or isinstance(part, bool):
+            raise TypeError(
+                f"key parts must be str, int, or float, got {type(part).__name__}: {part!r}"
+            )
+    return key
+
+
+@dataclass(frozen=True)
+class VersionedValue:
+    """A value plus the metadata needed for conflict resolution and staleness.
+
+    Attributes:
+        value: the stored payload (a field dict for entities, a pointer for
+            index entries).
+        timestamp: simulated wall-clock time of the originating write; this is
+            what last-write-wins compares and what staleness is measured from.
+        writer: identifier of the client session that performed the write,
+            used for read-your-own-writes checks.
+        version: monotonically increasing per-key version at the primary.
+        tombstone: True when the record has been deleted.
+    """
+
+    value: Any
+    timestamp: float
+    writer: str = ""
+    version: int = 0
+    tombstone: bool = False
+
+    def wins_over(self, other: Optional["VersionedValue"]) -> bool:
+        """Last-write-wins comparison; ties are broken by version then writer."""
+        if other is None:
+            return True
+        if self.timestamp != other.timestamp:
+            return self.timestamp > other.timestamp
+        if self.version != other.version:
+            return self.version > other.version
+        return self.writer >= other.writer
+
+
+@dataclass(frozen=True)
+class Record:
+    """A (namespace, key, versioned value) triple — the unit of storage."""
+
+    namespace: str
+    key: Key
+    versioned: VersionedValue
+
+    @property
+    def value(self) -> Any:
+        return self.versioned.value
+
+    @property
+    def timestamp(self) -> float:
+        return self.versioned.timestamp
+
+
+@dataclass(frozen=True)
+class KeyRange:
+    """A half-open, contiguous range of keys ``[start, end)`` in one namespace.
+
+    ``start=None`` means unbounded below; ``end=None`` unbounded above.  Key
+    ranges are the unit of partitioning, data movement, and — per the paper's
+    query restriction — the only thing a query is allowed to read.
+    """
+
+    namespace: str
+    start: Optional[Key] = None
+    end: Optional[Key] = None
+
+    def contains(self, key: Key) -> bool:
+        """True if ``key`` lies within the range."""
+        if self.start is not None and key < self.start:
+            return False
+        if self.end is not None and key >= self.end:
+            return False
+        return True
+
+    def overlaps(self, other: "KeyRange") -> bool:
+        """True if the two ranges share any keys (same namespace required)."""
+        if self.namespace != other.namespace:
+            return False
+        if self.end is not None and other.start is not None and self.end <= other.start:
+            return False
+        if other.end is not None and self.start is not None and other.end <= self.start:
+            return False
+        return True
+
+    def is_unbounded(self) -> bool:
+        """True if either end of the range is open."""
+        return self.start is None or self.end is None
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        lo = "-inf" if self.start is None else repr(self.start)
+        hi = "+inf" if self.end is None else repr(self.end)
+        return f"{self.namespace}[{lo}, {hi})"
+
+
+def prefix_range(namespace: str, prefix: Key) -> KeyRange:
+    """The range of all keys that start with ``prefix``.
+
+    This is how "all index entries for user U" becomes a bounded contiguous
+    range: the successor of the prefix is the prefix with an infinitesimally
+    larger last element, which tuple ordering gives us by appending a
+    sentinel that sorts after every legal key part.
+    """
+    validate_key(prefix)
+    # Tuples compare element-wise and shorter-is-smaller on ties, so every key
+    # whose leading components equal `prefix` sorts at or after `prefix` and
+    # strictly before the range end formed by replacing the last prefix
+    # component with its immediate successor.
+    return KeyRange(
+        namespace=namespace,
+        start=prefix,
+        end=prefix[:-1] + (_successor(prefix[-1]),),
+    )
+
+
+def key_part_successor(part: KeyPart) -> KeyPart:
+    """Public alias for :func:`_successor`, used by the query executor to turn
+    inclusive upper bounds into exclusive range ends."""
+    return _successor(part)
+
+
+def _successor(part: KeyPart) -> KeyPart:
+    """The smallest key part strictly greater than ``part`` itself.
+
+    For strings this appends NUL (the immediate next string in lexicographic
+    order), so keys whose component merely *starts with* the prefix string
+    (e.g. ``"abcd"`` vs prefix ``"abc"``) are correctly excluded.
+    """
+    if isinstance(part, bool):  # pragma: no cover - rejected by validate_key
+        raise TypeError("boolean key parts are not supported")
+    if isinstance(part, str):
+        return part + "\x00"
+    if isinstance(part, int):
+        return part + 1
+    import math
+
+    return math.nextafter(float(part), math.inf)

@@ -1,0 +1,256 @@
+"""Replica groups and the lazy replication engine.
+
+Writes are accepted at a replica group's primary and propagated to the other
+replicas asynchronously.  Propagation delay is the sum of a network hop and a
+configurable replication processing delay, and every completed propagation is
+recorded so that the staleness-bound experiments (E4) and the read-consistency
+axis of Figure 4 can measure actual replication lag rather than assume it.
+
+Quorum writes (used to implement the "serializable" end of the write-
+consistency axis and as the Dynamo-style baseline) wait for ``W`` replicas
+synchronously, paying the extra latency up front.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.sim.network import NetworkModel, NetworkPartitionError
+from repro.sim.simulator import Simulator
+from repro.storage.node import NodeDownError, StorageNode
+from repro.storage.records import Key, VersionedValue
+
+
+@dataclass
+class ReplicaGroup:
+    """A set of storage nodes holding copies of the same key ranges."""
+
+    group_id: str
+    node_ids: List[str]
+
+    @property
+    def primary(self) -> str:
+        """The node that accepts writes for this group."""
+        if not self.node_ids:
+            raise ValueError(f"replica group {self.group_id} has no nodes")
+        return self.node_ids[0]
+
+    @property
+    def replicas(self) -> List[str]:
+        """The non-primary members of the group."""
+        return self.node_ids[1:]
+
+    @property
+    def replication_factor(self) -> int:
+        return len(self.node_ids)
+
+
+@dataclass
+class PropagationRecord:
+    """Bookkeeping for one write's propagation to one replica."""
+
+    namespace: str
+    key: Key
+    write_time: float
+    replica_id: str
+    applied_time: Optional[float] = None
+
+    @property
+    def lag(self) -> Optional[float]:
+        """Replication lag in seconds, or None if not yet applied."""
+        if self.applied_time is None:
+            return None
+        return self.applied_time - self.write_time
+
+
+class ReplicationEngine:
+    """Propagates primary writes to replicas asynchronously.
+
+    Args:
+        simulator: the discrete-event simulator used to schedule propagation.
+        network: network model supplying hop delays and partitions.
+        nodes: mapping from node id to :class:`StorageNode`.
+        processing_delay: extra per-write replication processing time at the
+            replica, on top of the network hop.
+        retry_interval: how long to wait before retrying a propagation that
+            failed because of a partition or a crashed replica.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        network: NetworkModel,
+        nodes: Dict[str, StorageNode],
+        processing_delay: float = 0.002,
+        retry_interval: float = 1.0,
+        max_retries: int = 100,
+    ) -> None:
+        self._sim = simulator
+        self._network = network
+        self._nodes = nodes
+        self._processing_delay = processing_delay
+        self._retry_interval = retry_interval
+        self._max_retries = max_retries
+        self._history: List[PropagationRecord] = []
+        self._pending: int = 0
+        self._lag_listeners: List[Callable[[PropagationRecord], None]] = []
+
+    # -------------------------------------------------------------- listeners
+
+    def add_lag_listener(self, listener: Callable[[PropagationRecord], None]) -> None:
+        """Register a callback invoked whenever a propagation completes."""
+        self._lag_listeners.append(listener)
+
+    # ------------------------------------------------------------ propagation
+
+    def propagate(
+        self,
+        group: ReplicaGroup,
+        namespace: str,
+        key: Key,
+        value: VersionedValue,
+        delay_override: Optional[float] = None,
+    ) -> List[PropagationRecord]:
+        """Schedule asynchronous propagation of a primary write to all replicas.
+
+        ``delay_override`` lets the deadline-ordered index updater inject its
+        own scheduling decision (propagate sooner for tight staleness bounds).
+        """
+        records = []
+        for replica_id in group.replicas:
+            record = PropagationRecord(
+                namespace=namespace,
+                key=key,
+                write_time=self._sim.now,
+                replica_id=replica_id,
+            )
+            self._history.append(record)
+            records.append(record)
+            self._pending += 1
+            self._schedule_apply(group.primary, replica_id, namespace, key, value,
+                                 record, delay_override, retries_left=self._max_retries)
+        return records
+
+    def _schedule_apply(
+        self,
+        primary_id: str,
+        replica_id: str,
+        namespace: str,
+        key: Key,
+        value: VersionedValue,
+        record: PropagationRecord,
+        delay_override: Optional[float],
+        retries_left: int,
+    ) -> None:
+        try:
+            hop = self._network.delay(primary_id, replica_id)
+        except NetworkPartitionError:
+            hop = None
+        if hop is None:
+            self._schedule_retry(primary_id, replica_id, namespace, key, value,
+                                 record, delay_override, retries_left)
+            return
+        delay = hop + self._processing_delay if delay_override is None else delay_override
+
+        def apply() -> None:
+            node = self._nodes.get(replica_id)
+            if node is None or not node.alive:
+                self._schedule_retry(primary_id, replica_id, namespace, key, value,
+                                     record, delay_override, retries_left)
+                return
+            node.apply_replica_write(namespace, key, value)
+            record.applied_time = self._sim.now
+            self._pending -= 1
+            for listener in self._lag_listeners:
+                listener(record)
+
+        self._sim.schedule(delay, apply, name=f"replicate:{namespace}")
+
+    def _schedule_retry(
+        self,
+        primary_id: str,
+        replica_id: str,
+        namespace: str,
+        key: Key,
+        value: VersionedValue,
+        record: PropagationRecord,
+        delay_override: Optional[float],
+        retries_left: int,
+    ) -> None:
+        if retries_left <= 0:
+            # Give up; the record stays un-applied and shows up as unbounded lag.
+            self._pending -= 1
+            return
+
+        def retry() -> None:
+            self._schedule_apply(primary_id, replica_id, namespace, key, value,
+                                 record, delay_override, retries_left - 1)
+
+        self._sim.schedule(self._retry_interval, retry, name="replicate-retry")
+
+    # --------------------------------------------------------------- sync path
+
+    def synchronous_write(
+        self,
+        group: ReplicaGroup,
+        namespace: str,
+        key: Key,
+        value: VersionedValue,
+        write_quorum: int,
+        now: float,
+    ) -> Tuple[int, float]:
+        """Write to ``write_quorum`` replicas synchronously.
+
+        Returns (acks, added_latency).  The added latency is the slowest of
+        the contacted replicas' round trips (the client waits for the quorum).
+        Used for serializable writes and the quorum-store baseline.
+        """
+        if write_quorum < 1:
+            raise ValueError(f"write quorum must be >= 1, got {write_quorum}")
+        if write_quorum > group.replication_factor:
+            raise ValueError(
+                f"write quorum {write_quorum} exceeds replication factor "
+                f"{group.replication_factor}"
+            )
+        acks = 0
+        slowest = 0.0
+        for node_id in group.node_ids:
+            if acks >= write_quorum:
+                break
+            node = self._nodes.get(node_id)
+            if node is None or not node.alive:
+                continue
+            try:
+                if node_id == group.primary:
+                    round_trip = 0.0
+                else:
+                    round_trip = 2.0 * self._network.delay(group.primary, node_id)
+            except NetworkPartitionError:
+                continue
+            try:
+                service = node.put(namespace, key, value, now) if node_id != group.primary \
+                    else 0.0
+            except NodeDownError:
+                continue
+            acks += 1
+            slowest = max(slowest, round_trip + service)
+        return acks, slowest
+
+    # --------------------------------------------------------------- reporting
+
+    def pending_count(self) -> int:
+        """Number of propagations scheduled but not yet applied."""
+        return self._pending
+
+    def completed_lags(self) -> List[float]:
+        """Replication lags (seconds) of every completed propagation."""
+        return [r.lag for r in self._history if r.lag is not None]
+
+    def max_observed_lag(self) -> float:
+        """The worst completed replication lag so far (0 if none completed)."""
+        lags = self.completed_lags()
+        return max(lags) if lags else 0.0
+
+    def history(self) -> List[PropagationRecord]:
+        return list(self._history)

@@ -1,0 +1,258 @@
+"""Request router: the storage substrate's client-facing read/write path.
+
+The router translates logical operations (get, put, bounded range read) into
+node interactions: it consults the partitioner, picks a replica, adds network
+hops and node service time, performs asynchronous or quorum replication, and
+reports per-request latency and success.  Session guarantees and consistency
+policy live one layer up (``repro.core.consistency``); the router only offers
+the mechanisms they need (read-from-primary, quorum writes, version metadata).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.sim.network import NetworkPartitionError
+from repro.storage.cluster import Cluster
+from repro.storage.node import NodeDownError
+from repro.storage.records import Key, KeyRange, VersionedValue
+from repro.storage.replication import ReplicaGroup
+
+CLIENT_ENDPOINT = "client"
+
+
+@dataclass
+class RequestResult:
+    """Outcome of one routed request."""
+
+    success: bool
+    latency: float
+    value: Optional[VersionedValue] = None
+    rows: List[Tuple[Key, VersionedValue]] = field(default_factory=list)
+    node_id: Optional[str] = None
+    error: Optional[str] = None
+
+
+class Router:
+    """Routes client operations onto the simulated cluster."""
+
+    def __init__(self, cluster: Cluster) -> None:
+        self._cluster = cluster
+        self._sim = cluster.sim
+        self._read_rng = cluster.sim.random.get("router:replica-choice")
+        self._ops = {"read": 0, "write": 0, "range": 0, "failed": 0}
+
+    # ------------------------------------------------------------------ writes
+
+    def write(
+        self,
+        namespace: str,
+        key: Key,
+        payload: Any,
+        writer: str = "",
+        write_quorum: int = 1,
+        propagation_delay_override: Optional[float] = None,
+        tombstone: bool = False,
+    ) -> RequestResult:
+        """Write ``payload`` under ``key``.
+
+        ``write_quorum=1`` is the default lazy path: the primary acknowledges
+        and replication is asynchronous.  A larger quorum waits for that many
+        replicas synchronously (serializable / Dynamo-style writes).
+        """
+        now = self._sim.now
+        group = self._cluster.group_for_key(namespace, key)
+        primary = self._cluster.nodes[group.primary]
+        self._ops["write"] += 1
+        try:
+            client_hop = self._cluster.network.delay(CLIENT_ENDPOINT, group.primary)
+        except NetworkPartitionError:
+            self._ops["failed"] += 1
+            return RequestResult(success=False, latency=0.0, error="client partitioned from primary")
+        current = self._safe_peek(primary, namespace, key)
+        version = (current.version + 1) if current is not None else 1
+        versioned = VersionedValue(
+            value=payload,
+            timestamp=now,
+            writer=writer,
+            version=version,
+            tombstone=tombstone,
+        )
+        try:
+            service = primary.put(namespace, key, versioned, now)
+        except NodeDownError:
+            self._ops["failed"] += 1
+            return RequestResult(success=False, latency=client_hop, error="primary down",
+                                 node_id=group.primary)
+
+        latency = 2.0 * client_hop + service
+        if write_quorum > 1:
+            acks, sync_latency = self._cluster.replication.synchronous_write(
+                group, namespace, key, versioned, write_quorum, now
+            )
+            latency += sync_latency
+            if acks < write_quorum:
+                self._ops["failed"] += 1
+                return RequestResult(
+                    success=False,
+                    latency=latency,
+                    node_id=group.primary,
+                    error=f"only {acks}/{write_quorum} write acks",
+                )
+            # Remaining replicas still receive the write lazily.
+        self._cluster.replication.propagate(
+            group, namespace, key, versioned, delay_override=propagation_delay_override
+        )
+        return RequestResult(success=True, latency=latency, value=versioned,
+                             node_id=group.primary)
+
+    def delete(self, namespace: str, key: Key, writer: str = "") -> RequestResult:
+        """Delete a key (tombstone write so the deletion replicates)."""
+        return self.write(namespace, key, payload=None, writer=writer, tombstone=True)
+
+    # ------------------------------------------------------------------- reads
+
+    def read(
+        self,
+        namespace: str,
+        key: Key,
+        from_primary: bool = False,
+        read_quorum: int = 1,
+    ) -> RequestResult:
+        """Point read.
+
+        ``from_primary`` forces the read to the primary (used to honour
+        read-your-writes when a replica is behind).  ``read_quorum > 1`` reads
+        that many replicas and returns the newest version (Dynamo-style R).
+        """
+        now = self._sim.now
+        group = self._cluster.group_for_key(namespace, key)
+        self._ops["read"] += 1
+        if read_quorum > 1:
+            return self._quorum_read(group, namespace, key, read_quorum, now)
+        candidates = [group.primary] if from_primary else self._read_candidates(group)
+        last_error = "no replica available"
+        for node_id in candidates:
+            node = self._cluster.nodes.get(node_id)
+            if node is None or not node.alive:
+                last_error = f"node {node_id} down"
+                continue
+            try:
+                hop = self._cluster.network.delay(CLIENT_ENDPOINT, node_id)
+                value, service = node.get(namespace, key, now)
+            except NetworkPartitionError:
+                last_error = f"client partitioned from {node_id}"
+                continue
+            except NodeDownError:
+                last_error = f"node {node_id} down"
+                continue
+            return RequestResult(success=True, latency=2.0 * hop + service,
+                                 value=value, node_id=node_id)
+        self._ops["failed"] += 1
+        return RequestResult(success=False, latency=0.0, error=last_error)
+
+    def read_range(
+        self,
+        key_range: KeyRange,
+        limit: Optional[int] = None,
+        from_primary: bool = False,
+        reverse: bool = False,
+    ) -> RequestResult:
+        """Bounded contiguous range read — the only scan the query layer issues."""
+        now = self._sim.now
+        groups = self._cluster.groups_for_range(key_range)
+        self._ops["range"] += 1
+        all_rows: List[Tuple[Key, VersionedValue]] = []
+        total_latency = 0.0
+        contacted = 0
+        for group in groups:
+            candidates = [group.primary] if from_primary else self._read_candidates(group)
+            served = False
+            for node_id in candidates:
+                node = self._cluster.nodes.get(node_id)
+                if node is None or not node.alive:
+                    continue
+                try:
+                    hop = self._cluster.network.delay(CLIENT_ENDPOINT, node_id)
+                    rows, service = node.get_range(key_range, now, limit, reverse)
+                except (NetworkPartitionError, NodeDownError):
+                    continue
+                all_rows.extend(rows)
+                # Multi-group ranges fan out in parallel; the client waits for
+                # the slowest group, not the sum.
+                total_latency = max(total_latency, 2.0 * hop + service)
+                served = True
+                contacted += 1
+                break
+            if not served:
+                self._ops["failed"] += 1
+                return RequestResult(success=False, latency=total_latency,
+                                     error=f"range unavailable in group {group.group_id}")
+        all_rows.sort(key=lambda kv: kv[0], reverse=reverse)
+        if limit is not None:
+            all_rows = all_rows[:limit]
+        return RequestResult(success=True, latency=total_latency, rows=all_rows)
+
+    # ----------------------------------------------------------------- helpers
+
+    def _read_candidates(self, group: ReplicaGroup) -> List[str]:
+        """Replica preference order for a read: a random replica, then the rest."""
+        node_ids = list(group.node_ids)
+        if len(node_ids) <= 1:
+            return node_ids
+        start = int(self._read_rng.integers(0, len(node_ids)))
+        return node_ids[start:] + node_ids[:start]
+
+    def _quorum_read(
+        self,
+        group: ReplicaGroup,
+        namespace: str,
+        key: Key,
+        read_quorum: int,
+        now: float,
+    ) -> RequestResult:
+        if read_quorum > group.replication_factor:
+            return RequestResult(
+                success=False, latency=0.0,
+                error=f"read quorum {read_quorum} exceeds replication factor",
+            )
+        responses: List[Tuple[Optional[VersionedValue], float, str]] = []
+        for node_id in group.node_ids:
+            if len(responses) >= read_quorum:
+                break
+            node = self._cluster.nodes.get(node_id)
+            if node is None or not node.alive:
+                continue
+            try:
+                hop = self._cluster.network.delay(CLIENT_ENDPOINT, node_id)
+                value, service = node.get(namespace, key, now)
+            except (NetworkPartitionError, NodeDownError):
+                continue
+            responses.append((value, 2.0 * hop + service, node_id))
+        if len(responses) < read_quorum:
+            self._ops["failed"] += 1
+            return RequestResult(success=False, latency=0.0,
+                                 error=f"only {len(responses)}/{read_quorum} read responses")
+        latency = max(latency for _, latency, _ in responses)
+        newest: Optional[VersionedValue] = None
+        newest_node = None
+        for value, _, node_id in responses:
+            if value is not None and value.wins_over(newest):
+                newest = value
+                newest_node = node_id
+        return RequestResult(success=True, latency=latency, value=newest, node_id=newest_node)
+
+    @staticmethod
+    def _safe_peek(node, namespace: str, key: Key):
+        """Primary-side peek at the current version without failing the write path."""
+        try:
+            return node.peek(namespace, key)
+        except NodeDownError:
+            return None
+
+    # ------------------------------------------------------------------- stats
+
+    def op_counts(self) -> Dict[str, int]:
+        """Counters of routed operations, used by workload accounting."""
+        return dict(self._ops)

@@ -1,0 +1,144 @@
+"""CloudStone-like Web 2.0 operation mix.
+
+The real CloudStone benchmark drives a social-events application with a mix
+of browse-heavy interactive operations and a minority of writes.  This module
+reproduces the *shape* of that workload against the SCADS social-network
+schema: profile and friend-list reads dominate, with status posts, friend
+additions, and profile edits forming the write tail.  The Halloween-spike
+experiment (E5) raises the write fraction, matching the paper's observation
+that photo-upload spikes are "particularly interesting, and difficult,
+because they involve a significant percentage of writes."
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.sim.randomness import ZipfGenerator, weighted_choice
+from repro.workloads.social_graph import SocialGraph
+
+
+class OperationKind(enum.Enum):
+    """The operation types the workload issues against the SCADS API."""
+
+    READ_PROFILE = "read_profile"
+    READ_FRIENDS = "read_friends"
+    READ_FRIEND_BIRTHDAYS = "read_friend_birthdays"
+    READ_FRIENDS_OF_FRIENDS = "read_friends_of_friends"
+    POST_STATUS = "post_status"
+    ADD_FRIEND = "add_friend"
+    UPDATE_PROFILE = "update_profile"
+
+
+# Default interactive mix: ~90 % reads / 10 % writes, browse-heavy.
+DEFAULT_MIX: Dict[OperationKind, float] = {
+    OperationKind.READ_PROFILE: 0.35,
+    OperationKind.READ_FRIENDS: 0.25,
+    OperationKind.READ_FRIEND_BIRTHDAYS: 0.20,
+    OperationKind.READ_FRIENDS_OF_FRIENDS: 0.10,
+    OperationKind.POST_STATUS: 0.06,
+    OperationKind.ADD_FRIEND: 0.02,
+    OperationKind.UPDATE_PROFILE: 0.02,
+}
+
+# Post-Halloween style mix: a much larger write share (photo/status uploads).
+WRITE_HEAVY_MIX: Dict[OperationKind, float] = {
+    OperationKind.READ_PROFILE: 0.25,
+    OperationKind.READ_FRIENDS: 0.15,
+    OperationKind.READ_FRIEND_BIRTHDAYS: 0.10,
+    OperationKind.READ_FRIENDS_OF_FRIENDS: 0.05,
+    OperationKind.POST_STATUS: 0.35,
+    OperationKind.ADD_FRIEND: 0.05,
+    OperationKind.UPDATE_PROFILE: 0.05,
+}
+
+WRITE_KINDS = {
+    OperationKind.POST_STATUS,
+    OperationKind.ADD_FRIEND,
+    OperationKind.UPDATE_PROFILE,
+}
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One workload operation: what to do and on behalf of which user."""
+
+    kind: OperationKind
+    user_id: str
+    target_id: Optional[str] = None
+    payload: Optional[dict] = None
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind in WRITE_KINDS
+
+
+class CloudStoneMix:
+    """Draws operations against a social graph with Zipfian user popularity."""
+
+    def __init__(
+        self,
+        graph: SocialGraph,
+        rng: np.random.Generator,
+        mix: Optional[Dict[OperationKind, float]] = None,
+        zipf_theta: float = 0.8,
+    ) -> None:
+        self.graph = graph
+        self._rng = rng
+        self._mix = dict(mix or DEFAULT_MIX)
+        total = sum(self._mix.values())
+        if total <= 0:
+            raise ValueError("operation mix weights must sum to a positive value")
+        self._mix = {kind: weight / total for kind, weight in self._mix.items()}
+        self._zipf = ZipfGenerator(graph.n_users, zipf_theta, rng)
+        self._users = graph.users()
+        self._status_counter = 0
+
+    def write_fraction(self) -> float:
+        """The fraction of operations that are writes under the current mix."""
+        return sum(weight for kind, weight in self._mix.items() if kind in WRITE_KINDS)
+
+    def set_mix(self, mix: Dict[OperationKind, float]) -> None:
+        """Swap the operation mix (e.g. to the write-heavy spike mix) mid-run."""
+        total = sum(mix.values())
+        if total <= 0:
+            raise ValueError("operation mix weights must sum to a positive value")
+        self._mix = {kind: weight / total for kind, weight in mix.items()}
+
+    def _pick_user(self) -> str:
+        return self._users[self._zipf.draw()]
+
+    def next_operation(self) -> Operation:
+        """Draw the next operation from the mix."""
+        weights = {kind.value: weight for kind, weight in self._mix.items()}
+        kind = OperationKind(weighted_choice(self._rng, weights))
+        user_id = self._pick_user()
+        if kind is OperationKind.READ_PROFILE:
+            target = self._pick_user()
+            return Operation(kind=kind, user_id=user_id, target_id=target)
+        if kind in (OperationKind.READ_FRIENDS, OperationKind.READ_FRIEND_BIRTHDAYS,
+                    OperationKind.READ_FRIENDS_OF_FRIENDS):
+            return Operation(kind=kind, user_id=user_id)
+        if kind is OperationKind.POST_STATUS:
+            self._status_counter += 1
+            return Operation(
+                kind=kind,
+                user_id=user_id,
+                payload={"text": f"status #{self._status_counter} from {user_id}"},
+            )
+        if kind is OperationKind.ADD_FRIEND:
+            target = self._pick_user()
+            while target == user_id and self.graph.n_users > 1:
+                target = self._pick_user()
+            return Operation(kind=kind, user_id=user_id, target_id=target)
+        # UPDATE_PROFILE: change hometown (keeps birthday stable so the
+        # birthday-index maintenance path is driven by ADD_FRIEND instead).
+        return Operation(
+            kind=kind,
+            user_id=user_id,
+            payload={"hometown": f"town-{int(self._rng.integers(0, 50))}"},
+        )

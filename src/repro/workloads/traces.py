@@ -1,0 +1,198 @@
+"""Load traces: request rate as a function of simulated time.
+
+Each trace answers "what aggregate request rate (ops/sec) does the site see at
+time t?".  The shapes reproduce the load patterns the paper names:
+
+* :class:`AnimotoViralTrace` — Figure 1's viral growth, where load grows by
+  nearly two orders of magnitude over three days.
+* :class:`DiurnalTrace` — ordinary day/night cycles, the scale-down economics
+  workload.
+* :class:`HalloweenSpikeTrace` — a sudden, write-heavy event spike layered on
+  a baseline.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+
+class LoadTrace:
+    """Base class: a deterministic request-rate curve over simulated time."""
+
+    def rate_at(self, time: float) -> float:
+        """Aggregate request rate (ops/sec) at simulated time ``time``."""
+        raise NotImplementedError
+
+    def peak_rate_over(self, duration: float, resolution: float = 60.0) -> float:
+        """Maximum rate over ``[0, duration]`` sampled every ``resolution`` seconds."""
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        best = 0.0
+        t = 0.0
+        while t <= duration:
+            best = max(best, self.rate_at(t))
+            t += resolution
+        return best
+
+    def mean_rate_over(self, duration: float, resolution: float = 60.0) -> float:
+        """Mean rate over ``[0, duration]`` sampled every ``resolution`` seconds."""
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        total = 0.0
+        samples = 0
+        t = 0.0
+        while t <= duration:
+            total += self.rate_at(t)
+            samples += 1
+            t += resolution
+        return total / samples if samples else 0.0
+
+
+@dataclass
+class ConstantTrace(LoadTrace):
+    """A flat request rate."""
+
+    rate: float
+
+    def __post_init__(self) -> None:
+        if self.rate < 0:
+            raise ValueError("rate must be non-negative")
+
+    def rate_at(self, time: float) -> float:
+        return self.rate
+
+
+@dataclass
+class StepTrace(LoadTrace):
+    """Piecewise-constant rate: a list of (start_time, rate) steps."""
+
+    steps: Sequence[Tuple[float, float]]
+
+    def __post_init__(self) -> None:
+        if not self.steps:
+            raise ValueError("at least one step is required")
+        times = [t for t, _ in self.steps]
+        if times != sorted(times):
+            raise ValueError("steps must be sorted by start time")
+        if any(rate < 0 for _, rate in self.steps):
+            raise ValueError("rates must be non-negative")
+
+    def rate_at(self, time: float) -> float:
+        rate = self.steps[0][1]
+        for start, step_rate in self.steps:
+            if time >= start:
+                rate = step_rate
+            else:
+                break
+        return rate
+
+
+@dataclass
+class DiurnalTrace(LoadTrace):
+    """A sinusoidal day/night cycle.
+
+    Rate oscillates between ``base_rate`` and ``peak_rate`` with a period of
+    one day, peaking at ``peak_hour`` (default 20:00 — evening traffic).
+    """
+
+    base_rate: float
+    peak_rate: float
+    peak_hour: float = 20.0
+    period_hours: float = 24.0
+
+    def __post_init__(self) -> None:
+        if self.base_rate < 0 or self.peak_rate < self.base_rate:
+            raise ValueError("need 0 <= base_rate <= peak_rate")
+        if self.period_hours <= 0:
+            raise ValueError("period must be positive")
+
+    def rate_at(self, time: float) -> float:
+        hours = time / 3600.0
+        phase = 2.0 * math.pi * (hours - self.peak_hour) / self.period_hours
+        # cos(0) = 1 at the peak hour.
+        amplitude = (self.peak_rate - self.base_rate) / 2.0
+        midpoint = (self.peak_rate + self.base_rate) / 2.0
+        return midpoint + amplitude * math.cos(phase)
+
+
+@dataclass
+class AnimotoViralTrace(LoadTrace):
+    """Figure 1's viral growth: exponential ramp over ~3 days, then plateau.
+
+    Animoto went from about 50 servers to 3 400+ in three days.  Interpreting
+    one 2008-era server as roughly ``rate_per_server_equivalent`` ops/sec of
+    storage traffic gives a load curve with the same two-orders-of-magnitude
+    ramp; the reproduction only depends on the *ratio* between start and peak.
+    """
+
+    start_rate: float = 500.0
+    peak_multiplier: float = 68.0  # 3400 / 50
+    ramp_duration: float = 3 * 86400.0
+    ramp_start: float = 6 * 3600.0
+
+    def __post_init__(self) -> None:
+        if self.start_rate <= 0:
+            raise ValueError("start_rate must be positive")
+        if self.peak_multiplier < 1:
+            raise ValueError("peak_multiplier must be >= 1")
+        if self.ramp_duration <= 0:
+            raise ValueError("ramp_duration must be positive")
+
+    def rate_at(self, time: float) -> float:
+        if time <= self.ramp_start:
+            return self.start_rate
+        progress = min((time - self.ramp_start) / self.ramp_duration, 1.0)
+        # Exponential interpolation start -> start * multiplier.
+        return self.start_rate * (self.peak_multiplier ** progress)
+
+
+@dataclass
+class HalloweenSpikeTrace(LoadTrace):
+    """A sudden spike on top of a baseline, with a sharp rise and slower decay."""
+
+    base_rate: float
+    spike_multiplier: float = 5.0
+    spike_start: float = 12 * 3600.0
+    rise_duration: float = 1800.0
+    hold_duration: float = 4 * 3600.0
+    decay_duration: float = 6 * 3600.0
+
+    def __post_init__(self) -> None:
+        if self.base_rate <= 0:
+            raise ValueError("base_rate must be positive")
+        if self.spike_multiplier < 1:
+            raise ValueError("spike_multiplier must be >= 1")
+        for name in ("rise_duration", "hold_duration", "decay_duration"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+
+    def rate_at(self, time: float) -> float:
+        peak = self.base_rate * self.spike_multiplier
+        rise_end = self.spike_start + self.rise_duration
+        hold_end = rise_end + self.hold_duration
+        decay_end = hold_end + self.decay_duration
+        if time < self.spike_start or time >= decay_end:
+            return self.base_rate
+        if time < rise_end:
+            progress = (time - self.spike_start) / self.rise_duration
+            return self.base_rate + (peak - self.base_rate) * progress
+        if time < hold_end:
+            return peak
+        progress = (time - hold_end) / self.decay_duration
+        return peak - (peak - self.base_rate) * progress
+
+
+@dataclass
+class CompositeTrace(LoadTrace):
+    """The sum of several traces (e.g. diurnal baseline + event spike)."""
+
+    traces: List[LoadTrace] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.traces:
+            raise ValueError("a composite trace needs at least one component")
+
+    def rate_at(self, time: float) -> float:
+        return sum(trace.rate_at(time) for trace in self.traces)

@@ -1,0 +1,197 @@
+"""Unit tests for the declarative consistency axes (Figure 4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.consistency.arbitration import Arbitrator
+from repro.core.consistency.sessions import Session, SessionManager
+from repro.core.consistency.spec import (
+    Axis,
+    ConsistencySpec,
+    DurabilitySLA,
+    PerformanceSLA,
+    ReadConsistency,
+    SessionGuarantee,
+    WriteConsistency,
+    WritePolicy,
+)
+from repro.core.consistency.writes import ConflictResolver
+from repro.storage.records import VersionedValue
+
+
+class TestSpecAxes:
+    def test_performance_sla_describe(self):
+        sla = PerformanceSLA(percentile=99.9, latency=0.1, availability=0.9999)
+        text = sla.describe()
+        assert "99.9" in text and "100ms" in text
+
+    def test_performance_sla_validation(self):
+        with pytest.raises(ValueError):
+            PerformanceSLA(percentile=0)
+        with pytest.raises(ValueError):
+            PerformanceSLA(latency=0)
+        with pytest.raises(ValueError):
+            PerformanceSLA(availability=0)
+
+    def test_merge_policy_requires_function(self):
+        with pytest.raises(ValueError):
+            WriteConsistency(policy=WritePolicy.MERGE)
+
+    def test_serializable_requires_quorum(self):
+        assert WriteConsistency(policy=WritePolicy.SERIALIZABLE).requires_quorum
+        assert not WriteConsistency(policy=WritePolicy.LAST_WRITE_WINS).requires_quorum
+
+    def test_read_consistency_validation(self):
+        assert ReadConsistency(600.0).describe().startswith("stale data gone")
+        with pytest.raises(ValueError):
+            ReadConsistency(0.0)
+
+    def test_durability_validation(self):
+        with pytest.raises(ValueError):
+            DurabilitySLA(probability=1.0)
+        with pytest.raises(ValueError):
+            DurabilitySLA(probability=0.999, horizon_hours=0)
+
+    def test_default_spec_describes_every_axis(self):
+        description = ConsistencySpec().describe()
+        assert set(description) == {
+            "performance", "write_consistency", "read_consistency",
+            "session_guarantees", "durability",
+        }
+
+    def test_priority_ordering(self):
+        spec = ConsistencySpec(priority=[Axis.READ_CONSISTENCY, Axis.AVAILABILITY])
+        assert spec.prefers(Axis.READ_CONSISTENCY, Axis.AVAILABILITY)
+        assert not spec.prefers(Axis.AVAILABILITY, Axis.READ_CONSISTENCY)
+
+    def test_duplicate_priority_rejected(self):
+        with pytest.raises(ValueError):
+            ConsistencySpec(priority=[Axis.AVAILABILITY, Axis.AVAILABILITY])
+
+    def test_unlisted_axes_rank_last(self):
+        spec = ConsistencySpec(priority=[Axis.AVAILABILITY])
+        assert spec.prefers(Axis.AVAILABILITY, Axis.DURABILITY)
+
+
+class TestSessions:
+    def _value(self, version, writer="s1"):
+        return VersionedValue(value={"a": version}, timestamp=float(version),
+                              version=version, writer=writer)
+
+    def test_read_your_writes_rejects_stale_replica_value(self):
+        session = Session("s1", SessionGuarantee(read_your_writes=True))
+        session.note_write("ns", ("k",), self._value(3))
+        assert not session.acceptable("ns", ("k",), self._value(2))
+        assert session.acceptable("ns", ("k",), self._value(3))
+        assert session.stats.ryw_fallbacks == 1
+
+    def test_read_your_writes_rejects_missing_value(self):
+        session = Session("s1", SessionGuarantee(read_your_writes=True))
+        session.note_write("ns", ("k",), self._value(1))
+        assert not session.acceptable("ns", ("k",), None)
+
+    def test_monotonic_reads_rejects_going_backwards(self):
+        session = Session("s1", SessionGuarantee(monotonic_reads=True))
+        session.note_read("ns", ("k",), self._value(5))
+        assert not session.acceptable("ns", ("k",), self._value(4))
+        assert session.acceptable("ns", ("k",), self._value(6))
+
+    def test_no_guarantees_accepts_anything(self):
+        session = Session("s1", SessionGuarantee())
+        session.note_write("ns", ("k",), self._value(3))
+        assert session.acceptable("ns", ("k",), None)
+
+    def test_guarantees_are_per_key(self):
+        session = Session("s1", SessionGuarantee(read_your_writes=True))
+        session.note_write("ns", ("k1",), self._value(3))
+        assert session.acceptable("ns", ("k2",), None)
+
+    def test_manager_reuses_sessions_and_counts_fallbacks(self):
+        manager = SessionManager(SessionGuarantee(read_your_writes=True))
+        session = manager.open("s1")
+        assert manager.open("s1") is session
+        session.note_write("ns", ("k",), self._value(2))
+        session.acceptable("ns", ("k",), self._value(1))
+        assert manager.total_fallbacks() == 1
+        assert manager.session_count() == 1
+        assert manager.get("missing") is None
+
+
+class TestConflictResolver:
+    def test_last_write_wins_returns_incoming(self):
+        resolver = ConflictResolver(WriteConsistency(WritePolicy.LAST_WRITE_WINS))
+        result = resolver.resolve({"a": 1}, {"a": 2})
+        assert result == {"a": 2}
+        assert resolver.write_quorum() == 1
+        assert resolver.stats.last_write_wins == 1
+
+    def test_merge_combines_both_writes(self):
+        def merge(current, incoming):
+            merged = dict(current)
+            merged.setdefault("tags", [])
+            merged["tags"] = sorted(set(current.get("tags", []) + incoming.get("tags", [])))
+            return merged
+
+        resolver = ConflictResolver(WriteConsistency(WritePolicy.MERGE, merge_function=merge))
+        result = resolver.resolve({"tags": ["a"]}, {"tags": ["b"]})
+        assert result["tags"] == ["a", "b"]
+        assert resolver.stats.merged == 1
+
+    def test_merge_with_no_current_returns_incoming(self):
+        resolver = ConflictResolver(
+            WriteConsistency(WritePolicy.MERGE, merge_function=lambda c, i: c)
+        )
+        assert resolver.resolve(None, {"x": 1}) == {"x": 1}
+
+    def test_merge_must_return_dict(self):
+        resolver = ConflictResolver(
+            WriteConsistency(WritePolicy.MERGE, merge_function=lambda c, i: 42)
+        )
+        with pytest.raises(TypeError):
+            resolver.resolve({"a": 1}, {"a": 2})
+
+    def test_serializable_uses_majority_quorum(self):
+        resolver = ConflictResolver(
+            WriteConsistency(WritePolicy.SERIALIZABLE), replication_factor=3
+        )
+        assert resolver.write_quorum() == 2
+        resolver5 = ConflictResolver(
+            WriteConsistency(WritePolicy.SERIALIZABLE), replication_factor=5
+        )
+        assert resolver5.write_quorum() == 3
+
+    def test_serializable_applies_partial_update_on_top(self):
+        resolver = ConflictResolver(WriteConsistency(WritePolicy.SERIALIZABLE))
+        result = resolver.resolve({"a": 1, "b": 2}, {"b": 3})
+        assert result == {"a": 1, "b": 3}
+
+
+class TestArbitrator:
+    def test_availability_first_serves_stale(self):
+        spec = ConsistencySpec(priority=[Axis.AVAILABILITY, Axis.READ_CONSISTENCY])
+        arbitrator = Arbitrator(spec)
+        decision = arbitrator.resolve_read_conflict(now=1.0, conflict="partition")
+        assert decision.served_stale and not decision.failed_request
+        assert arbitrator.stale_serves() == 1
+
+    def test_consistency_first_fails_request(self):
+        spec = ConsistencySpec(priority=[Axis.READ_CONSISTENCY, Axis.AVAILABILITY])
+        arbitrator = Arbitrator(spec)
+        decision = arbitrator.resolve_read_conflict(now=1.0, conflict="partition")
+        assert decision.failed_request and not decision.served_stale
+        assert arbitrator.failed_requests() == 1
+
+    def test_session_conflicts_use_session_axis(self):
+        spec = ConsistencySpec(priority=[Axis.SESSION, Axis.AVAILABILITY])
+        arbitrator = Arbitrator(spec)
+        decision = arbitrator.resolve_session_conflict(now=2.0, conflict="primary down")
+        assert decision.winner is Axis.SESSION
+        assert decision.failed_request
+
+    def test_decisions_are_recorded_in_order(self):
+        arbitrator = Arbitrator(ConsistencySpec())
+        arbitrator.resolve_read_conflict(1.0, "a")
+        arbitrator.resolve_read_conflict(2.0, "b")
+        decisions = arbitrator.decisions()
+        assert [d.time for d in decisions] == [1.0, 2.0]

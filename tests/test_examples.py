@@ -1,0 +1,40 @@
+"""Smoke tests that the example scripts run end-to-end.
+
+Only the fast examples are executed here (the autoscaling example runs a
+longer simulation and is covered by the equivalent benchmark instead).
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+SRC_DIR = os.path.join(os.path.dirname(__file__), "..", "src")
+
+
+def _run_example(name: str, timeout: float = 240.0) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, name)],
+        capture_output=True, text=True, timeout=timeout, env=env, check=False,
+    )
+
+
+def test_quickstart_example_runs():
+    result = _run_example("quickstart.py")
+    assert result.returncode == 0, result.stderr
+    assert "rejected as expected" in result.stdout
+    assert "alice's friends by upcoming birthday" in result.stdout
+    assert "index maintenance table" in result.stdout
+
+
+def test_consistency_tradeoffs_example_runs():
+    result = _run_example("consistency_tradeoffs.py")
+    assert result.returncode == 0, result.stderr
+    assert "=== strict ===" in result.stdout
+    assert "partition arbitration" in result.stdout

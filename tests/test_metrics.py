@@ -1,0 +1,266 @@
+"""Unit tests for the measurement substrate (repro.metrics)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.cost import CostReport
+from repro.metrics.percentiles import LatencyRecorder, PercentileEstimator
+from repro.metrics.sla import SLATracker
+from repro.metrics.timeseries import TimeSeries, TimeSeriesRecorder
+
+
+class TestPercentileEstimator:
+    def test_percentile_of_known_values(self):
+        estimator = PercentileEstimator()
+        estimator.extend(range(1, 101))
+        assert estimator.percentile(50) == pytest.approx(50.5)
+        assert estimator.percentile(100) == 100
+
+    def test_mean_and_max(self):
+        estimator = PercentileEstimator()
+        estimator.extend([1.0, 2.0, 3.0])
+        assert estimator.mean() == pytest.approx(2.0)
+        assert estimator.max() == 3.0
+
+    def test_fraction_below(self):
+        estimator = PercentileEstimator()
+        estimator.extend([0.05, 0.15, 0.25, 0.35])
+        assert estimator.fraction_below(0.2) == pytest.approx(0.5)
+
+    def test_rejects_negative_samples(self):
+        with pytest.raises(ValueError):
+            PercentileEstimator().add(-1.0)
+
+    def test_empty_estimator_raises(self):
+        with pytest.raises(ValueError):
+            PercentileEstimator().percentile(50)
+
+    def test_invalid_percentile_rejected(self):
+        estimator = PercentileEstimator()
+        estimator.add(1.0)
+        with pytest.raises(ValueError):
+            estimator.percentile(0)
+        with pytest.raises(ValueError):
+            estimator.percentile(101)
+
+    def test_reset_clears_samples(self):
+        estimator = PercentileEstimator()
+        estimator.add(1.0)
+        estimator.reset()
+        assert len(estimator) == 0
+
+    def test_snapshot_contains_standard_keys(self):
+        estimator = PercentileEstimator()
+        estimator.extend([0.01] * 10)
+        snapshot = estimator.snapshot()
+        for key in ("count", "mean", "p50", "p95", "p99", "p999", "max"):
+            assert key in snapshot
+
+    def test_snapshot_empty(self):
+        assert PercentileEstimator().snapshot() == {"count": 0}
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_percentiles_are_monotone_in_p(self, samples):
+        estimator = PercentileEstimator()
+        estimator.extend(samples)
+        p50 = estimator.percentile(50)
+        p90 = estimator.percentile(90)
+        p99 = estimator.percentile(99)
+        assert p50 <= p90 <= p99
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_percentile_bounded_by_min_and_max(self, samples):
+        estimator = PercentileEstimator()
+        estimator.extend(samples)
+        assert min(samples) <= estimator.percentile(50) <= max(samples)
+
+
+class TestLatencyRecorder:
+    def test_records_per_op_type(self):
+        recorder = LatencyRecorder()
+        recorder.record("read", 0.01)
+        recorder.record("write", 0.02)
+        assert recorder.op_types() == ["read", "write"]
+        assert recorder.all_time("read").mean() == pytest.approx(0.01)
+
+    def test_roll_window_resets_window_but_not_all_time(self):
+        recorder = LatencyRecorder()
+        recorder.record("read", 0.01)
+        summary = recorder.roll_window()
+        assert summary["read"]["count"] == 1
+        recorder.record("read", 0.03)
+        assert recorder.window_count("read") == 1
+        assert len(recorder.all_time("read")) == 2
+
+    def test_unknown_op_type_raises(self):
+        with pytest.raises(KeyError):
+            LatencyRecorder().all_time("nope")
+
+    def test_window_count_zero_for_unknown(self):
+        assert LatencyRecorder().window_count("read") == 0
+
+
+class TestSLATracker:
+    def _tracker(self):
+        return SLATracker("read", target_percentile=99.0, target_latency=0.1)
+
+    def test_satisfied_when_all_requests_fast(self):
+        tracker = self._tracker()
+        for _ in range(100):
+            tracker.observe(0.01)
+        report = tracker.overall_report()
+        assert report.satisfied
+        assert report.observed_fraction_within == pytest.approx(1.0)
+
+    def test_violated_when_tail_is_slow(self):
+        tracker = self._tracker()
+        for _ in range(90):
+            tracker.observe(0.01)
+        for _ in range(10):
+            tracker.observe(0.5)
+        report = tracker.overall_report()
+        assert not report.satisfied
+        assert report.violation_margin() > 0
+
+    def test_failures_count_against_attainment(self):
+        tracker = self._tracker()
+        for _ in range(50):
+            tracker.observe(0.01)
+        for _ in range(50):
+            tracker.observe(None, success=False)
+        report = tracker.overall_report()
+        assert report.observed_fraction_within == pytest.approx(0.5)
+        assert tracker.availability() == pytest.approx(0.5)
+
+    def test_window_history_and_violation_rate(self):
+        tracker = self._tracker()
+        tracker.observe(0.01)
+        tracker.close_window()
+        tracker.observe(0.5)
+        tracker.close_window()
+        assert len(tracker.window_history()) == 2
+        assert tracker.violation_rate() == pytest.approx(0.5)
+
+    def test_empty_window_is_trivially_satisfied(self):
+        tracker = self._tracker()
+        report = tracker.close_window()
+        assert report.satisfied
+        assert report.request_count == 0
+
+    def test_successful_observation_requires_latency(self):
+        with pytest.raises(ValueError):
+            self._tracker().observe(None, success=True)
+
+    def test_invalid_targets_rejected(self):
+        with pytest.raises(ValueError):
+            SLATracker("read", 0.0, 0.1)
+        with pytest.raises(ValueError):
+            SLATracker("read", 99.0, -0.1)
+        with pytest.raises(ValueError):
+            SLATracker("read", 99.0, 0.1, availability_target=0.0)
+
+
+class TestTimeSeries:
+    def test_append_and_last(self):
+        series = TimeSeries(name="x")
+        series.append(0.0, 1.0)
+        series.append(1.0, 2.0)
+        assert series.last() == (1.0, 2.0)
+        assert len(series) == 2
+
+    def test_rejects_decreasing_timestamps(self):
+        series = TimeSeries(name="x")
+        series.append(1.0, 1.0)
+        with pytest.raises(ValueError):
+            series.append(0.5, 2.0)
+
+    def test_value_at_is_step_function(self):
+        series = TimeSeries(name="x")
+        series.append(0.0, 1.0)
+        series.append(10.0, 5.0)
+        assert series.value_at(5.0) == 1.0
+        assert series.value_at(10.0) == 5.0
+        assert series.value_at(20.0) == 5.0
+
+    def test_value_before_first_observation_raises(self):
+        series = TimeSeries(name="x")
+        series.append(5.0, 1.0)
+        with pytest.raises(ValueError):
+            series.value_at(1.0)
+
+    def test_integrate_step_function(self):
+        series = TimeSeries(name="servers")
+        series.append(0.0, 2.0)
+        series.append(10.0, 4.0)
+        series.append(20.0, 0.0)
+        # 2 servers for 10 s + 4 servers for 10 s = 60 server-seconds.
+        assert series.integrate() == pytest.approx(60.0)
+
+    def test_min_max_mean(self):
+        series = TimeSeries(name="x")
+        for t, v in [(0, 1), (1, 3), (2, 2)]:
+            series.append(float(t), float(v))
+        assert series.min() == 1
+        assert series.max() == 3
+        assert series.mean() == pytest.approx(2.0)
+
+    def test_resample_onto_grid(self):
+        series = TimeSeries(name="x")
+        series.append(0.0, 1.0)
+        series.append(3.0, 5.0)
+        resampled = series.resample(1.0)
+        assert resampled.values == [1.0, 1.0, 1.0, 5.0]
+
+    def test_empty_series_raises(self):
+        with pytest.raises(ValueError):
+            TimeSeries(name="x").last()
+
+
+class TestTimeSeriesRecorder:
+    def test_record_and_get(self):
+        recorder = TimeSeriesRecorder()
+        recorder.record("nodes", 0.0, 5.0)
+        recorder.record("nodes", 1.0, 6.0)
+        assert recorder.get("nodes").last() == (1.0, 6.0)
+        assert "nodes" in recorder
+        assert recorder.names() == ["nodes"]
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(KeyError):
+            TimeSeriesRecorder().get("missing")
+
+
+class TestCostReport:
+    def _report(self, dollars=10.0, requests=1_000_000):
+        return CostReport(
+            machine_hours=100.0,
+            dollars=dollars,
+            requests_served=requests,
+            peak_instances=10,
+            mean_instances=5.0,
+        )
+
+    def test_cost_per_million_requests(self):
+        report = self._report()
+        assert report.cost_per_million_requests() == pytest.approx(10.0)
+
+    def test_zero_requests(self):
+        report = self._report(requests=0)
+        assert report.cost_per_request() == 0.0
+
+    def test_savings_vs(self):
+        cheap = self._report(dollars=5.0)
+        expensive = self._report(dollars=10.0)
+        assert cheap.savings_vs(expensive) == pytest.approx(0.5)
+        assert expensive.savings_vs(cheap) == pytest.approx(-1.0)
+
+    def test_as_dict_round_trips_key_fields(self):
+        data = self._report().as_dict()
+        assert data["dollars"] == 10.0
+        assert data["peak_instances"] == 10

@@ -1,0 +1,131 @@
+"""Property-based end-to-end invariants on core data structures.
+
+These check that after arbitrary operation sequences the maintained indexes
+agree exactly with a ground-truth model computed independently — the strongest
+correctness statement about the index-maintenance machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import Scads
+from repro.core.schema import EntitySchema, Field
+
+USERS = [f"u{i}" for i in range(6)]
+BIRTHDAYS = ["01-05", "03-14", "07-04", "11-30"]
+
+
+def build_engine() -> Scads:
+    engine = Scads(seed=13, autoscale=False, initial_groups=1)
+    engine.register_entity(EntitySchema(
+        "profiles", key_fields=[Field("user_id")],
+        value_fields=[Field("name"), Field("birthday")],
+    ))
+    engine.register_entity(EntitySchema(
+        "friendships", key_fields=[Field("f1"), Field("f2")],
+        max_per_partition=50, column_bounds={"f2": 50},
+    ))
+    engine.register_query("friends", "SELECT * FROM friendships WHERE f1 = <u> LIMIT 50")
+    engine.register_query(
+        "friend_birthdays",
+        "SELECT p.* FROM friendships f JOIN profiles p ON f.f2 = p.user_id "
+        "WHERE f.f1 = <u> ORDER BY p.birthday LIMIT 50",
+    )
+    engine.start()
+    return engine
+
+
+operation_strategy = st.one_of(
+    st.tuples(st.just("set_birthday"), st.sampled_from(USERS), st.sampled_from(BIRTHDAYS)),
+    st.tuples(st.just("add_friend"), st.sampled_from(USERS), st.sampled_from(USERS)),
+    st.tuples(st.just("remove_friend"), st.sampled_from(USERS), st.sampled_from(USERS)),
+)
+
+
+class GroundTruth:
+    """An independent, obviously-correct model of the application state."""
+
+    def __init__(self) -> None:
+        self.birthdays: Dict[str, str] = {}
+        self.edges: Set[Tuple[str, str]] = set()
+
+    def apply(self, operation) -> None:
+        kind = operation[0]
+        if kind == "set_birthday":
+            _, user, birthday = operation
+            self.birthdays[user] = birthday
+        elif kind == "add_friend":
+            _, a, b = operation
+            if a != b:
+                self.edges.add((a, b))
+        else:
+            _, a, b = operation
+            self.edges.discard((a, b))
+
+    def friends_of(self, user: str) -> List[str]:
+        return sorted(b for a, b in self.edges if a == user)
+
+    def friend_birthdays(self, user: str) -> List[Tuple[str, str]]:
+        rows = []
+        for friend in self.friends_of(user):
+            if friend in self.birthdays:
+                rows.append((self.birthdays[friend], friend))
+        return sorted(rows)
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large])
+@given(operations=st.lists(operation_strategy, min_size=1, max_size=25))
+def test_maintained_indexes_match_ground_truth(operations):
+    engine = build_engine()
+    truth = GroundTruth()
+    for operation in operations:
+        kind = operation[0]
+        if kind == "set_birthday":
+            _, user, birthday = operation
+            engine.put("profiles", {"user_id": user, "name": user, "birthday": birthday})
+        elif kind == "add_friend":
+            _, a, b = operation
+            if a != b:
+                engine.put("friendships", {"f1": a, "f2": b})
+        else:
+            _, a, b = operation
+            engine.delete("friendships", (a, b))
+        truth.apply(operation)
+    engine.settle(seconds=5.0)
+
+    for user in USERS:
+        friend_rows = engine.query("friends", {"u": user}).rows
+        assert sorted(row["f2"] for row in friend_rows) == truth.friends_of(user)
+
+        birthday_rows = engine.query("friend_birthdays", {"u": user}).rows
+        observed = sorted((row["birthday"], row["user_id"]) for row in birthday_rows)
+        assert observed == truth.friend_birthdays(user)
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    writes=st.lists(
+        st.tuples(st.sampled_from(USERS), st.integers(min_value=0, max_value=100)),
+        min_size=1, max_size=30,
+    )
+)
+def test_last_write_wins_converges_to_final_value_per_key(writes):
+    engine = Scads(seed=17, autoscale=False, initial_groups=1)
+    engine.register_entity(EntitySchema(
+        "counters", key_fields=[Field("user_id")], value_fields=[Field("value")],
+    ))
+    engine.start()
+    final: Dict[str, int] = {}
+    for user, value in writes:
+        engine.put("counters", {"user_id": user, "value": str(value)})
+        final[user] = value
+    engine.settle(seconds=5.0)
+    for user, value in final.items():
+        row = engine.get("counters", (user,)).row
+        assert row is not None and row["value"] == str(value)

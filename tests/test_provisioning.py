@@ -1,0 +1,119 @@
+"""Tests for the provisioning feedback loop: monitor, planner, controller."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.consistency.spec import Axis, ConsistencySpec, PerformanceSLA, ReadConsistency
+from repro.core.provisioning.planner import CapacityPlanner
+from repro.ml.performance_model import LatencyPercentileModel, PropagationLagModel
+from repro.workloads.traces import AnimotoViralTrace, ConstantTrace, DiurnalTrace
+
+
+def make_planner(**kwargs):
+    latency_model = LatencyPercentileModel(node_capacity_ops=1000.0)
+    lag_model = PropagationLagModel()
+    defaults = dict(node_capacity_ops=1000.0, min_nodes=2, max_nodes=500)
+    defaults.update(kwargs)
+    return CapacityPlanner(latency_model, lag_model, **defaults)
+
+
+SLAS = {"read": PerformanceSLA(percentile=99.0, latency=0.1)}
+SPEC = ConsistencySpec()
+
+
+class TestCapacityPlanner:
+    def test_target_grows_with_forecast_rate(self):
+        planner = make_planner()
+        small = planner.plan(1_000.0, 0.1, SLAS, SPEC)
+        large = planner.plan(20_000.0, 0.1, SLAS, SPEC)
+        assert large.target_nodes > small.target_nodes
+
+    def test_minimum_nodes_respected_at_zero_load(self):
+        planner = make_planner(min_nodes=4)
+        plan = planner.plan(0.0, 0.0, SLAS, SPEC)
+        assert plan.target_nodes == 4
+
+    def test_maximum_nodes_cap(self):
+        planner = make_planner(max_nodes=10)
+        plan = planner.plan(1_000_000.0, 0.1, SLAS, SPEC)
+        assert plan.target_nodes == 10
+
+    def test_utilisation_ceiling_provides_headroom(self):
+        planner = make_planner(target_utilisation=0.5)
+        plan = planner.plan(10_000.0, 0.1, SLAS, SPEC)
+        # 10k ops at 1000 ops/node and 50% ceiling needs at least 20 nodes.
+        assert plan.target_nodes >= 20
+
+    def test_staleness_pressure_adds_capacity(self):
+        planner = make_planner()
+        calm = planner.plan(5_000.0, 0.3, SLAS, SPEC, pending_maintenance=0,
+                            behind_schedule=False)
+        pressured = planner.plan(5_000.0, 0.3, SLAS, SPEC, pending_maintenance=0,
+                                 behind_schedule=True)
+        assert pressured.target_nodes > calm.target_nodes
+        assert pressured.staleness_pressure
+
+    def test_stricter_sla_needs_no_fewer_nodes(self):
+        planner = make_planner()
+        loose = planner.plan(8_000.0, 0.1, {"read": PerformanceSLA(latency=0.5)}, SPEC)
+        strict = planner.plan(8_000.0, 0.1, {"read": PerformanceSLA(latency=0.05)}, SPEC)
+        assert strict.target_nodes >= loose.target_nodes
+
+    def test_plan_describe_mentions_reason(self):
+        plan = make_planner().plan(1_000.0, 0.1, SLAS, SPEC)
+        assert "target=" in plan.describe()
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            make_planner(target_utilisation=1.5)
+        with pytest.raises(ValueError):
+            make_planner(min_nodes=0)
+        planner = make_planner()
+        with pytest.raises(ValueError):
+            planner.plan(-1.0, 0.1, SLAS, SPEC)
+
+
+class TestClosedLoopAutoscaling:
+    """Integration tests of the controller through the full engine.
+
+    These run the same harness the benchmarks use, at a small scale (low
+    per-node capacity, tens of ops/sec) so the whole class stays fast.
+    """
+
+    def _run(self, trace, duration, **kwargs):
+        from repro.experiments.harness import run_closed_loop
+
+        defaults = dict(seed=11, n_users=60, friend_cap=10, control_interval=30.0,
+                        initial_groups=1)
+        defaults.update(kwargs)
+        return run_closed_loop(trace, duration, **defaults)
+
+    def test_scale_up_under_growing_load(self):
+        growing = AnimotoViralTrace(start_rate=20.0, peak_multiplier=8.0,
+                                    ramp_start=60.0, ramp_duration=500.0)
+        result = self._run(growing, duration=700.0)
+        assert result.scale_ups >= 1
+        assert result.peak_nodes > 3
+
+    def test_scale_down_after_load_drops(self):
+        from repro.workloads.traces import StepTrace
+
+        trace = StepTrace([(0.0, 150.0), (400.0, 10.0)])
+        result = self._run(trace, duration=1800.0,
+                           control_interval=30.0)
+        assert result.scale_downs >= 1
+        assert result.final_nodes < result.peak_nodes
+
+    def test_controller_records_time_series(self):
+        result = self._run(ConstantTrace(30.0), duration=300.0)
+        series = result.engine.controller.series()
+        assert "observed_rate" in series
+        assert "nodes" in series
+        assert len(result.engine.controller.actions()) >= 5
+
+    def test_billing_tracks_rented_instances(self):
+        result = self._run(ConstantTrace(30.0), duration=300.0)
+        engine = result.engine
+        assert engine.cost_so_far() > 0.0
+        assert engine.pool.active_count() == engine.cluster.node_count()

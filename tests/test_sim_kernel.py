@@ -1,0 +1,440 @@
+"""Unit tests for the discrete-event simulation kernel (repro.sim)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.clock import ClockError, VirtualClock
+from repro.sim.events import Event, EventQueue
+from repro.sim.latency import (
+    ConstantLatency,
+    EmpiricalLatency,
+    ExponentialLatency,
+    LogNormalLatency,
+    ParetoLatency,
+    QueueingLatency,
+    percentile_of,
+)
+from repro.sim.network import NetworkModel, NetworkPartitionError
+from repro.sim.randomness import (
+    RandomStreams,
+    ZipfGenerator,
+    exponential_sample,
+    lognormal_sample,
+    pareto_sample,
+    weighted_choice,
+)
+from repro.sim.simulator import Simulator
+
+
+# ---------------------------------------------------------------------- clock
+
+
+class TestVirtualClock:
+    def test_starts_at_zero_by_default(self):
+        assert VirtualClock().now == 0.0
+
+    def test_starts_at_given_time(self):
+        assert VirtualClock(start=5.5).now == 5.5
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ValueError):
+            VirtualClock(start=-1.0)
+
+    def test_advance_to_moves_forward(self):
+        clock = VirtualClock()
+        clock.advance_to(3.0)
+        assert clock.now == 3.0
+
+    def test_advance_to_same_time_is_noop(self):
+        clock = VirtualClock(start=2.0)
+        clock.advance_to(2.0)
+        assert clock.now == 2.0
+
+    def test_advance_to_rejects_backwards(self):
+        clock = VirtualClock(start=2.0)
+        with pytest.raises(ClockError):
+            clock.advance_to(1.0)
+
+    def test_advance_by_accumulates(self):
+        clock = VirtualClock()
+        clock.advance_by(1.5)
+        clock.advance_by(2.5)
+        assert clock.now == 4.0
+
+    def test_advance_by_rejects_negative(self):
+        with pytest.raises(ClockError):
+            VirtualClock().advance_by(-0.1)
+
+
+# ---------------------------------------------------------------- event queue
+
+
+class TestEventQueue:
+    def test_pop_returns_events_in_time_order(self):
+        queue = EventQueue()
+        fired = []
+        queue.push(3.0, lambda: fired.append("c"))
+        queue.push(1.0, lambda: fired.append("a"))
+        queue.push(2.0, lambda: fired.append("b"))
+        while queue:
+            queue.pop().fire()
+        assert fired == ["a", "b", "c"]
+
+    def test_simultaneous_events_fire_in_insertion_order(self):
+        queue = EventQueue()
+        fired = []
+        queue.push(1.0, lambda: fired.append("first"))
+        queue.push(1.0, lambda: fired.append("second"))
+        while queue:
+            queue.pop().fire()
+        assert fired == ["first", "second"]
+
+    def test_priority_breaks_ties(self):
+        queue = EventQueue()
+        fired = []
+        queue.push(1.0, lambda: fired.append("low"), priority=5)
+        queue.push(1.0, lambda: fired.append("high"), priority=0)
+        while queue:
+            queue.pop().fire()
+        assert fired == ["high", "low"]
+
+    def test_len_counts_live_events(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        assert len(queue) == 2
+        queue.cancel(event)
+        assert len(queue) == 1
+
+    def test_cancelled_events_are_skipped(self):
+        queue = EventQueue()
+        fired = []
+        event = queue.push(1.0, lambda: fired.append("cancelled"))
+        queue.push(2.0, lambda: fired.append("kept"))
+        queue.cancel(event)
+        while queue:
+            queue.pop().fire()
+        assert fired == ["kept"]
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+
+    def test_peek_time_skips_cancelled(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.push(5.0, lambda: None)
+        queue.cancel(event)
+        assert queue.peek_time() == 5.0
+
+    def test_clear_empties_queue(self):
+        queue = EventQueue()
+        queue.push(1.0, lambda: None)
+        queue.clear()
+        assert not queue
+
+
+# ------------------------------------------------------------------ simulator
+
+
+class TestSimulator:
+    def test_schedule_and_run_until(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, lambda: fired.append(sim.now))
+        sim.run_until(10.0)
+        assert fired == [5.0]
+        assert sim.now == 10.0
+
+    def test_run_until_leaves_clock_at_end_time_with_empty_queue(self):
+        sim = Simulator()
+        sim.run_until(42.0)
+        assert sim.now == 42.0
+
+    def test_events_beyond_end_time_do_not_fire(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, lambda: fired.append("early"))
+        sim.schedule(50.0, lambda: fired.append("late"))
+        sim.run_until(10.0)
+        assert fired == ["early"]
+
+    def test_schedule_rejects_negative_delay(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_schedule_at_rejects_past(self):
+        sim = Simulator()
+        sim.run_until(10.0)
+        with pytest.raises(ValueError):
+            sim.schedule_at(5.0, lambda: None)
+
+    def test_periodic_fires_repeatedly(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_periodic(10.0, lambda: fired.append(sim.now))
+        sim.run_until(35.0)
+        assert fired == [10.0, 20.0, 30.0]
+
+    def test_periodic_cancel_stops_firing(self):
+        sim = Simulator()
+        fired = []
+        cancel = sim.schedule_periodic(10.0, lambda: fired.append(sim.now))
+        sim.run_until(25.0)
+        cancel()
+        sim.run_until(100.0)
+        assert fired == [10.0, 20.0]
+
+    def test_nested_scheduling_from_events(self):
+        sim = Simulator()
+        fired = []
+
+        def first():
+            fired.append("first")
+            sim.schedule(1.0, lambda: fired.append("second"))
+
+        sim.schedule(1.0, first)
+        sim.run_until(5.0)
+        assert fired == ["first", "second"]
+
+    def test_processed_events_counter(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.schedule(float(i + 1), lambda: None)
+        sim.run_until(10.0)
+        assert sim.processed_events == 5
+
+    def test_run_drains_queue(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        assert not sim.queue
+
+
+# ----------------------------------------------------------------- randomness
+
+
+class TestRandomStreams:
+    def test_same_seed_same_stream(self):
+        a = RandomStreams(42).get("x").random(5)
+        b = RandomStreams(42).get("x").random(5)
+        assert np.allclose(a, b)
+
+    def test_different_names_are_independent(self):
+        streams = RandomStreams(42)
+        a = streams.get("a").random(5)
+        b = streams.get("b").random(5)
+        assert not np.allclose(a, b)
+
+    def test_different_seeds_differ(self):
+        a = RandomStreams(1).get("x").random(5)
+        b = RandomStreams(2).get("x").random(5)
+        assert not np.allclose(a, b)
+
+    def test_same_stream_is_cached(self):
+        streams = RandomStreams(0)
+        assert streams.get("x") is streams.get("x")
+
+
+class TestDistributions:
+    def test_zipf_draws_in_range(self):
+        rng = np.random.default_rng(0)
+        zipf = ZipfGenerator(100, 0.9, rng)
+        draws = zipf.draw_many(1000)
+        assert draws.min() >= 0
+        assert draws.max() < 100
+
+    def test_zipf_is_skewed_toward_low_ranks(self):
+        rng = np.random.default_rng(0)
+        zipf = ZipfGenerator(1000, 0.9, rng)
+        draws = zipf.draw_many(5000)
+        top_ten_share = np.mean(draws < 10)
+        assert top_ten_share > 0.15  # heavily skewed vs. the uniform 1%
+
+    def test_zipf_theta_zero_is_roughly_uniform(self):
+        rng = np.random.default_rng(0)
+        zipf = ZipfGenerator(10, 0.0, rng)
+        draws = zipf.draw_many(10_000)
+        counts = np.bincount(draws, minlength=10)
+        assert counts.min() > 700
+
+    def test_zipf_rejects_bad_parameters(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            ZipfGenerator(0, 0.5, rng)
+        with pytest.raises(ValueError):
+            ZipfGenerator(10, 1.5, rng)
+
+    def test_pareto_and_lognormal_are_positive(self):
+        rng = np.random.default_rng(0)
+        assert pareto_sample(rng, 2.0, 1.0) >= 1.0
+        assert lognormal_sample(rng, 0.01, 0.5) > 0
+        assert exponential_sample(rng, 2.0) > 0
+
+    def test_weighted_choice_respects_zero_weights(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            assert weighted_choice(rng, {"a": 0.0, "b": 1.0}) == "b"
+
+    def test_weighted_choice_rejects_empty_and_negative(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            weighted_choice(rng, {})
+        with pytest.raises(ValueError):
+            weighted_choice(rng, {"a": -1.0})
+
+
+# -------------------------------------------------------------------- latency
+
+
+class TestLatencyModels:
+    def test_constant(self):
+        rng = np.random.default_rng(0)
+        model = ConstantLatency(0.005)
+        assert model.sample(rng) == 0.005
+        assert model.mean() == 0.005
+
+    def test_lognormal_mean_close_to_analytic(self):
+        rng = np.random.default_rng(0)
+        model = LogNormalLatency(0.004, 0.5)
+        samples = [model.sample(rng) for _ in range(20_000)]
+        assert np.mean(samples) == pytest.approx(model.mean(), rel=0.05)
+
+    def test_exponential_mean(self):
+        rng = np.random.default_rng(0)
+        model = ExponentialLatency(0.01)
+        samples = [model.sample(rng) for _ in range(20_000)]
+        assert np.mean(samples) == pytest.approx(0.01, rel=0.05)
+
+    def test_pareto_requires_finite_mean(self):
+        with pytest.raises(ValueError):
+            ParetoLatency(0.001, shape=1.0)
+
+    def test_empirical_resamples_from_given_values(self):
+        rng = np.random.default_rng(0)
+        model = EmpiricalLatency([0.001, 0.002, 0.003])
+        for _ in range(20):
+            assert model.sample(rng) in (0.001, 0.002, 0.003)
+
+    def test_empirical_rejects_empty(self):
+        with pytest.raises(ValueError):
+            EmpiricalLatency([])
+
+    def test_queueing_latency_grows_with_utilisation(self):
+        rng = np.random.default_rng(0)
+        model = QueueingLatency(ConstantLatency(0.004))
+        model.set_utilisation(0.0)
+        low = model.sample(rng)
+        model.set_utilisation(0.9)
+        high = model.sample(rng)
+        assert high == pytest.approx(low / 0.1)
+
+    def test_queueing_latency_clamps_overload(self):
+        model = QueueingLatency(ConstantLatency(0.004))
+        model.set_utilisation(5.0)
+        assert model.utilisation == QueueingLatency.MAX_UTILISATION
+
+    def test_percentile_of_orders_percentiles(self):
+        rng = np.random.default_rng(0)
+        model = LogNormalLatency(0.004, 0.5)
+        p50 = percentile_of(model, rng, 50)
+        p99 = percentile_of(model, rng, 99)
+        assert p99 > p50
+
+
+# -------------------------------------------------------------------- network
+
+
+class TestNetworkModel:
+    def _network(self):
+        return NetworkModel(np.random.default_rng(0))
+
+    def test_self_delay_is_zero(self):
+        assert self._network().delay("a", "a") == 0.0
+
+    def test_default_delay_is_positive(self):
+        assert self._network().delay("a", "b") > 0.0
+
+    def test_partition_blocks_traffic(self):
+        network = self._network()
+        network.partition({"a"}, {"b"})
+        with pytest.raises(NetworkPartitionError):
+            network.delay("a", "b")
+
+    def test_partition_is_symmetric(self):
+        network = self._network()
+        network.partition({"a"}, {"b"})
+        with pytest.raises(NetworkPartitionError):
+            network.delay("b", "a")
+
+    def test_partition_does_not_block_same_side(self):
+        network = self._network()
+        network.partition({"a", "c"}, {"b"})
+        assert network.delay("a", "c") >= 0.0
+
+    def test_heal_restores_traffic(self):
+        network = self._network()
+        partition = network.partition({"a"}, {"b"})
+        network.heal(partition)
+        assert network.delay("a", "b") > 0.0
+
+    def test_heal_all(self):
+        network = self._network()
+        network.partition({"a"}, {"b"})
+        network.partition({"c"}, {"d"})
+        network.heal_all()
+        assert network.is_reachable("a", "b")
+        assert network.is_reachable("c", "d")
+
+    def test_overlapping_partition_groups_rejected(self):
+        network = self._network()
+        with pytest.raises(ValueError):
+            network.partition({"a"}, {"a", "b"})
+
+    def test_congestion_inflates_delay(self):
+        network = self._network()
+        baseline = np.mean([network.delay("a", "b") for _ in range(200)])
+        network.set_congestion("a", "b", 10.0)
+        congested = np.mean([network.delay("a", "b") for _ in range(200)])
+        assert congested > 5.0 * baseline
+
+    def test_congestion_factor_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            self._network().set_congestion("a", "b", 0.5)
+
+
+# ------------------------------------------------------------ property tests
+
+
+class TestSimulatorProperties:
+    @given(delays=st.lists(st.floats(min_value=0.0, max_value=1000.0), min_size=1, max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_clock_is_monotonic_over_any_schedule(self, delays):
+        sim = Simulator()
+        observed = []
+        for delay in delays:
+            sim.schedule(delay, lambda: observed.append(sim.now))
+        sim.run()
+        assert observed == sorted(observed)
+
+    @given(
+        times=st.lists(
+            st.tuples(st.floats(min_value=0, max_value=100), st.integers(min_value=0, max_value=3)),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_event_queue_pops_in_nondecreasing_time_order(self, times):
+        queue = EventQueue()
+        for time, priority in times:
+            queue.push(time, lambda: None, priority=priority)
+        popped = []
+        while queue:
+            popped.append(queue.pop().time)
+        assert popped == sorted(popped)

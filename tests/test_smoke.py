@@ -1,0 +1,60 @@
+"""End-to-end smoke test: the quickstart path through the public API."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Scads
+from repro.apps.social_network import SocialNetworkApp
+
+
+@pytest.fixture()
+def app() -> SocialNetworkApp:
+    engine = Scads(seed=7, initial_groups=2, autoscale=False)
+    engine.start()
+    return SocialNetworkApp(engine, friend_cap=500, page_size=10)
+
+
+def test_create_users_and_query_birthdays(app: SocialNetworkApp) -> None:
+    engine = app.engine
+    app.create_user("alice", "Alice", "03-14", "berkeley")
+    app.create_user("bob", "Bob", "07-04", "oakland")
+    app.create_user("carol", "Carol", "01-02", "berkeley")
+    app.add_friendship("alice", "bob")
+    app.add_friendship("alice", "carol")
+    engine.settle()
+
+    friends = app.friends_page("alice")
+    assert len(friends.rows) == 2
+
+    birthdays = app.birthdays_page("alice")
+    names = [row["name"] for row in birthdays.rows]
+    # Sorted by birthday: Carol (01-02) before Bob (07-04).
+    assert names == ["Carol", "Bob"]
+
+    fof = app.friends_of_friends_page("bob")
+    fof_ids = {row["user_id"] for row in fof.rows}
+    assert "carol" in fof_ids
+
+
+def test_maintenance_table_matches_figure_3(app: SocialNetworkApp) -> None:
+    rules = app.engine.maintenance_table()
+    rows = {(rule.index_name, rule.table, rule.field) for rule in rules}
+    assert ("idx_friends", "friendships", "*") in rows
+    assert ("idx_friend_birthdays", "profiles", "birthday") in rows
+    assert ("idx_friend_birthdays", "friendships", "*") in rows
+    assert ("idx_friends_of_friends", "friendships", "*") in rows
+    # No rule dispatches friends-of-friends maintenance on profile changes,
+    # matching Figure 3.
+    assert not any(
+        rule.index_name == "idx_friends_of_friends" and rule.table == "profiles"
+        for rule in rules
+    )
+
+
+def test_sla_tracking_records_latencies(app: SocialNetworkApp) -> None:
+    app.create_user("dave", "Dave", "11-30")
+    outcome = app.view_profile("dave", "dave")
+    assert outcome.success
+    report = app.engine.sla_report("read")
+    assert report.request_count >= 1

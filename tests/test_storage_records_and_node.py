@@ -1,0 +1,279 @@
+"""Unit tests for storage records, key ranges, and the simulated node."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.node import NodeDownError, StorageNode
+from repro.storage.records import (
+    KeyRange,
+    VersionedValue,
+    key_part_successor,
+    prefix_range,
+    validate_key,
+)
+
+
+def make_node(node_id="n1", capacity=1000.0, seed=0):
+    return StorageNode(node_id, np.random.default_rng(seed), capacity_ops_per_sec=capacity)
+
+
+def vv(value, timestamp=0.0, version=1, writer="w", tombstone=False):
+    return VersionedValue(value=value, timestamp=timestamp, version=version,
+                         writer=writer, tombstone=tombstone)
+
+
+# ----------------------------------------------------------------------- keys
+
+
+class TestKeys:
+    def test_validate_key_accepts_mixed_primitives(self):
+        assert validate_key(("a", 1, 2.5)) == ("a", 1, 2.5)
+
+    def test_validate_key_rejects_non_tuple(self):
+        with pytest.raises(TypeError):
+            validate_key(["a"])
+
+    def test_validate_key_rejects_empty(self):
+        with pytest.raises(ValueError):
+            validate_key(())
+
+    def test_validate_key_rejects_bool_and_none(self):
+        with pytest.raises(TypeError):
+            validate_key((True,))
+        with pytest.raises(TypeError):
+            validate_key((None,))
+
+    def test_key_part_successor_string_excludes_longer_strings(self):
+        assert "abc" < key_part_successor("abc") < "abcd"
+
+    def test_key_part_successor_int(self):
+        assert key_part_successor(5) == 6
+
+    def test_key_part_successor_float(self):
+        assert key_part_successor(1.0) > 1.0
+
+
+class TestVersionedValue:
+    def test_newer_timestamp_wins(self):
+        old = vv("a", timestamp=1.0)
+        new = vv("b", timestamp=2.0)
+        assert new.wins_over(old)
+        assert not old.wins_over(new)
+
+    def test_anything_wins_over_none(self):
+        assert vv("a").wins_over(None)
+
+    def test_version_breaks_timestamp_ties(self):
+        a = vv("a", timestamp=1.0, version=1)
+        b = vv("b", timestamp=1.0, version=2)
+        assert b.wins_over(a)
+
+
+class TestKeyRange:
+    def test_contains_half_open(self):
+        key_range = KeyRange("ns", start=("a",), end=("c",))
+        assert key_range.contains(("a",))
+        assert key_range.contains(("b",))
+        assert not key_range.contains(("c",))
+
+    def test_unbounded_contains_everything(self):
+        key_range = KeyRange("ns")
+        assert key_range.contains(("zzz", 99))
+        assert key_range.is_unbounded()
+
+    def test_overlaps_requires_same_namespace(self):
+        a = KeyRange("ns1", start=("a",), end=("c",))
+        b = KeyRange("ns2", start=("a",), end=("c",))
+        assert not a.overlaps(b)
+
+    def test_overlaps_detects_intersection(self):
+        a = KeyRange("ns", start=("a",), end=("c",))
+        b = KeyRange("ns", start=("b",), end=("d",))
+        c = KeyRange("ns", start=("c",), end=("e",))
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+    def test_prefix_range_matches_exact_component_only(self):
+        key_range = prefix_range("ns", ("user1",))
+        assert key_range.contains(("user1",))
+        assert key_range.contains(("user1", "02-14", "friend9"))
+        assert not key_range.contains(("user10",))
+        assert not key_range.contains(("user0",))
+
+    def test_prefix_range_multi_component(self):
+        key_range = prefix_range("ns", ("u1", 5))
+        assert key_range.contains(("u1", 5, "x"))
+        assert not key_range.contains(("u1", 6))
+
+    @given(
+        prefix=st.text(alphabet="abcdef", min_size=1, max_size=5),
+        other=st.text(alphabet="abcdef", min_size=1, max_size=8),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_prefix_range_property(self, prefix, other):
+        key_range = prefix_range("ns", (prefix,))
+        inside = key_range.contains((other,)) or key_range.contains((other, "x"))
+        assert inside == (other == prefix)
+
+
+# ----------------------------------------------------------------------- node
+
+
+class TestStorageNodeBasics:
+    def test_put_then_get(self):
+        node = make_node()
+        node.put("ns", ("k",), vv({"a": 1}), now=0.0)
+        value, latency = node.get("ns", ("k",), now=1.0)
+        assert value is not None and value.value == {"a": 1}
+        assert latency > 0
+
+    def test_get_missing_returns_none(self):
+        node = make_node()
+        value, _ = node.get("ns", ("missing",), now=0.0)
+        assert value is None
+
+    def test_tombstone_hides_value(self):
+        node = make_node()
+        node.put("ns", ("k",), vv({"a": 1}), now=0.0)
+        node.delete("ns", ("k",), vv(None, timestamp=1.0, version=2, tombstone=True), now=1.0)
+        value, _ = node.get("ns", ("k",), now=2.0)
+        assert value is None
+
+    def test_peek_does_not_touch_load_model(self):
+        node = make_node()
+        node.put("ns", ("k",), vv({"a": 1}), now=0.0)
+        before = node.stats.reads
+        assert node.peek("ns", ("k",)).value == {"a": 1}
+        assert node.stats.reads == before
+
+    def test_key_count_tracks_new_keys(self):
+        node = make_node()
+        node.put("ns", ("a",), vv(1), now=0.0)
+        node.put("ns", ("b",), vv(2), now=0.0)
+        node.put("ns", ("a",), vv(3), now=0.0)  # overwrite, not a new key
+        assert node.key_count("ns") == 2
+
+    def test_namespaces_listed(self):
+        node = make_node()
+        node.put("ns2", ("a",), vv(1), now=0.0)
+        node.put("ns1", ("a",), vv(1), now=0.0)
+        assert node.namespaces() == ["ns1", "ns2"]
+
+    def test_crash_blocks_operations(self):
+        node = make_node()
+        node.crash()
+        with pytest.raises(NodeDownError):
+            node.get("ns", ("k",), now=0.0)
+        with pytest.raises(NodeDownError):
+            node.put("ns", ("k",), vv(1), now=0.0)
+
+    def test_recover_restores_data(self):
+        node = make_node()
+        node.put("ns", ("k",), vv(1), now=0.0)
+        node.crash()
+        node.recover()
+        value, _ = node.get("ns", ("k",), now=1.0)
+        assert value is not None
+
+    def test_wipe_drops_data(self):
+        node = make_node()
+        node.put("ns", ("k",), vv(1), now=0.0)
+        node.wipe()
+        assert node.key_count() == 0
+
+    def test_apply_replica_write_respects_lww(self):
+        node = make_node()
+        newer = vv("new", timestamp=5.0, version=2)
+        older = vv("old", timestamp=1.0, version=1)
+        assert node.apply_replica_write("ns", ("k",), newer)
+        assert not node.apply_replica_write("ns", ("k",), older)
+        assert node.peek("ns", ("k",)).value == "new"
+
+    def test_invalid_key_rejected(self):
+        node = make_node()
+        with pytest.raises(TypeError):
+            node.put("ns", ["not-a-tuple"], vv(1), now=0.0)
+
+
+class TestStorageNodeRanges:
+    def _loaded_node(self):
+        node = make_node()
+        for user in ("u1", "u2"):
+            for day in ("01-05", "03-10", "07-20"):
+                node.put("idx", (user, day), vv(day), now=0.0)
+        return node
+
+    def test_range_is_contiguous_and_sorted(self):
+        node = self._loaded_node()
+        rows, _ = node.get_range(prefix_range("idx", ("u1",)), now=1.0)
+        keys = [key for key, _ in rows]
+        assert keys == sorted(keys)
+        assert all(key[0] == "u1" for key in keys)
+        assert len(keys) == 3
+
+    def test_range_with_limit(self):
+        node = self._loaded_node()
+        rows, _ = node.get_range(prefix_range("idx", ("u1",)), now=1.0, limit=2)
+        assert len(rows) == 2
+
+    def test_range_reverse_returns_descending(self):
+        node = self._loaded_node()
+        rows, _ = node.get_range(prefix_range("idx", ("u1",)), now=1.0, limit=2, reverse=True)
+        days = [key[1] for key, _ in rows]
+        assert days == ["07-20", "03-10"]
+
+    def test_range_excludes_tombstones(self):
+        node = self._loaded_node()
+        node.delete("idx", ("u1", "01-05"),
+                    vv(None, timestamp=2.0, version=2, tombstone=True), now=2.0)
+        rows, _ = node.get_range(prefix_range("idx", ("u1",)), now=3.0)
+        assert len(rows) == 2
+
+    def test_range_latency_grows_with_rows(self):
+        node = make_node()
+        for i in range(500):
+            node.put("idx", ("u", i), vv(i), now=0.0)
+        small, small_latency = node.get_range(prefix_range("idx", ("u",)), now=1.0, limit=5)
+        node2 = make_node(seed=0)
+        for i in range(500):
+            node2.put("idx", ("u", i), vv(i), now=0.0)
+        large, large_latency = node2.get_range(prefix_range("idx", ("u",)), now=1.0)
+        assert len(large) == 500
+        assert large_latency > small_latency
+
+
+class TestStorageNodeLoadModel:
+    def test_utilisation_rises_under_load(self):
+        node = make_node(capacity=100.0)
+        for i in range(200):
+            node.put("ns", ("k", i), vv(i), now=i * 0.001)  # 1000 ops/sec against 100 capacity
+        assert node.utilisation() > 0.8
+
+    def test_latency_increases_with_load(self):
+        calm = make_node(capacity=1000.0, seed=1)
+        for i in range(100):
+            calm.put("ns", ("k", i), vv(i), now=i * 1.0)  # 1 op/sec
+        calm_latency = np.mean([calm.get("ns", ("k", 0), now=200.0 + i)[1] for i in range(50)])
+
+        busy = make_node(capacity=1000.0, seed=1)
+        for i in range(2000):
+            busy.put("ns", ("k", i), vv(i), now=i * 0.0002)  # 5000 ops/sec
+        busy_latency = np.mean([busy.get("ns", ("k", 0), now=0.4 + i * 0.0002)[1] for i in range(50)])
+        assert busy_latency > 2.0 * calm_latency
+
+    def test_decay_load_reduces_utilisation_when_idle(self):
+        node = make_node(capacity=100.0)
+        for i in range(200):
+            node.put("ns", ("k", i), vv(i), now=i * 0.001)
+        busy = node.utilisation()
+        for step in range(20):
+            node.decay_load(now=10.0 + step * 10.0)
+        assert node.utilisation() < busy
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            make_node(capacity=0.0)
