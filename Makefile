@@ -1,0 +1,21 @@
+# Test tiers (see conftest.py):
+#   make test      - tier-1: fast correctness suite (what CI gates on)
+#   make test-all  - everything, including slow-marked tests
+#   make property  - hypothesis property suites at the thorough profile
+#   make bench     - the paper's experiment benchmarks (E1..E13, figures)
+
+PYTEST := python -m pytest
+
+.PHONY: test test-all property bench
+
+test:
+	$(PYTEST) -x -q
+
+test-all:
+	$(PYTEST) -q --runslow
+
+property:
+	sh scripts/run_property_suite.sh
+
+bench:
+	$(PYTEST) benchmarks/ -q -s

@@ -2,12 +2,59 @@
 
 Ensures the ``src`` layout is importable even when the package has not been
 installed (offline environments without the ``wheel`` package cannot run
-``pip install -e .``).
+``pip install -e .``), and defines the test tiers:
+
+* ``tier1`` — fast correctness tests; what ``python -m pytest -x -q`` runs.
+* ``slow``  — long-running tests, skipped by default; enable with
+  ``--runslow`` (or ``RUN_SLOW=1``).
+* ``property`` — hypothesis property suites.  They run in the default tier
+  with a small example budget; ``scripts/run_property_suite.sh`` re-runs
+  them with the ``thorough`` hypothesis profile for real coverage.
 """
 
 import os
 import sys
 
+import pytest
+
 _SRC = os.path.join(os.path.dirname(__file__), "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
+
+try:
+    from hypothesis import HealthCheck, settings as _hypothesis_settings
+
+    _hypothesis_settings.register_profile(
+        "fast", max_examples=15, deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    _hypothesis_settings.register_profile(
+        "thorough", max_examples=200, deadline=None,
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+    )
+    _hypothesis_settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "fast"))
+except ImportError:  # pragma: no cover - hypothesis is part of the toolchain
+    pass
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--runslow", action="store_true", default=False,
+        help="also run tests marked slow (the full suite)",
+    )
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "tier1: fast correctness test; runs by default")
+    config.addinivalue_line("markers", "slow: long-running; needs --runslow or RUN_SLOW=1")
+    config.addinivalue_line("markers", "property: hypothesis property suite")
+
+
+def pytest_collection_modifyitems(config, items):
+    run_slow = os.environ.get("RUN_SLOW") not in (None, "", "0")
+    if config.getoption("--runslow") or run_slow:
+        return
+    skip_slow = pytest.mark.skip(reason="slow test: pass --runslow (or RUN_SLOW=1)")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)

@@ -1,0 +1,7 @@
+#!/bin/sh
+# Full property-based suite: every hypothesis test at the "thorough" profile
+# (200 examples each) plus the slow tier.  The default `python -m pytest -x -q`
+# run keeps the same tests at a small example budget so it stays fast.
+set -e
+cd "$(dirname "$0")/.."
+HYPOTHESIS_PROFILE=thorough python -m pytest -m property --runslow -q "$@"

@@ -18,6 +18,23 @@ Internally the engine wires together every substrate in the repository:
 * the provisioning feedback loop (:mod:`repro.core.provisioning`) watches SLA
   attainment and rents/releases utility-computing instances
   (:mod:`repro.cloud`) to keep the SLAs met at minimum cost.
+
+Elasticity & repartitioning
+---------------------------
+
+Capacity scales in whole replica groups, but *placement* scales in key
+ranges.  With ``repartition=True`` the engine attaches a hot-partition
+:class:`~repro.storage.rebalancer.Rebalancer`: the router feeds a decayed
+per-partition load sketch, and when a control window shows one hot replica
+group while the cluster mean has headroom (a Zipf hotspot, not an overload),
+the provisioning loop prefers a sub-group action over renting a group —
+splitting the hot range at its load median, migrating only the hot keys to a
+cold group (range partitioner), or shifting ring weight between groups (hash
+partitioner).  Migrations are *live*: affected keys are dual-routed while the
+transfer's simulated duration elapses, writes are mirrored to the source, and
+source copies are reclaimed only at completion, so no request is dropped
+mid-move.  Splits are free (they only create a migratable unit) and cold
+adjacent ranges are re-merged in quiet windows.
 """
 
 from __future__ import annotations
@@ -59,6 +76,7 @@ from repro.ml.performance_model import LatencyPercentileModel, PropagationLagMod
 from repro.sim.simulator import Simulator
 from repro.storage.cluster import Cluster
 from repro.storage.durability import DurabilityModel
+from repro.storage.rebalancer import Rebalancer
 from repro.storage.records import Key, KeyRange, prefix_range
 from repro.storage.router import RequestResult, Router
 
@@ -145,6 +163,15 @@ class Scads:
         control_interval: seconds between provisioning-loop iterations.
         max_instances: hard cap on rented instances.
         max_read_work / max_update_work: query-admission caps (the K's).
+        partitioner_kind: ``"hash"`` (consistent hashing, default) or
+            ``"range"`` (explicit split points; required for range-level
+            split/merge actions).
+        repartition: attach the hot-partition rebalancer so the provisioning
+            loop can repair load skew with targeted split/migrate actions
+            instead of renting whole replica groups (see the module
+            docstring's "Elasticity & repartitioning" section).
+        repartition_hot_utilisation / repartition_cold_utilisation: group
+            utilisation thresholds that define a migratable imbalance.
     """
 
     def __init__(
@@ -164,6 +191,10 @@ class Scads:
         updates_per_second_per_node: float = 200.0,
         fifo_updates: bool = False,
         min_groups: int = 1,
+        partitioner_kind: str = "hash",
+        repartition: bool = False,
+        repartition_hot_utilisation: float = 0.75,
+        repartition_cold_utilisation: float = 0.5,
     ) -> None:
         self.spec = consistency or ConsistencySpec()
         self.sim = Simulator(seed=seed)
@@ -179,7 +210,18 @@ class Scads:
             replication_factor=replication_factor,
             initial_groups=initial_groups,
             node_capacity_ops=instance_type.capacity_ops_per_sec,
+            partitioner_kind=partitioner_kind,
         )
+        self.rebalancer: Optional[Rebalancer] = None
+        if repartition:
+            self.rebalancer = Rebalancer(
+                self.cluster,
+                hot_utilisation=repartition_hot_utilisation,
+                cold_utilisation=repartition_cold_utilisation,
+                # Let a migration's load shift register in the utilisation
+                # EWMAs before acting again, or the hot range ping-pongs.
+                cooldown=2.0 * control_interval,
+            )
         self.router = Router(self.cluster)
         self.pool = InstancePool(self.sim, instance_type=instance_type,
                                  max_instances=max_instances)
@@ -237,6 +279,9 @@ class Scads:
             latency_model=self.latency_model,
             lag_model=self.lag_model,
             slas=self.slas,
+            # With the rebalancer active, hotspot windows must not teach the
+            # capacity model that nodes never help (see SLAMonitor._train).
+            exclude_hotspot_training=repartition,
         )
         self.planner = CapacityPlanner(
             latency_model=self.latency_model,
@@ -244,6 +289,7 @@ class Scads:
             node_capacity_ops=instance_type.capacity_ops_per_sec,
             min_nodes=max(min_groups, 1) * replication_factor,
             max_nodes=max_instances,
+            repartition_hot_utilisation=repartition_hot_utilisation,
         )
         self.autoscale = autoscale
         self.controller = ProvisioningController(
@@ -258,6 +304,7 @@ class Scads:
             spec=self.spec,
             control_interval=control_interval,
             predictive=predictive_scaling,
+            rebalancer=self.rebalancer,
         )
         self._started = False
 

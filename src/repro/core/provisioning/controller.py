@@ -11,6 +11,13 @@ Every control interval the controller
    attaching new machines as whole replica groups so the durability SLA's
    replication factor is never violated mid-scale.
 
+When a :class:`~repro.storage.rebalancer.Rebalancer` is attached, the acting
+step grows a REPARTITION branch: if the planner flags the window as a
+*repartition candidate* (one hot replica group, cluster-wide headroom), the
+controller first tries a sub-group split/migrate — which moves only the hot
+keys and rents nothing — and only falls back to launching a group when
+repeated repartitioning has not relieved the pressure.
+
 Scale-down is deliberately conservative (sustained low demand over several
 windows, at most one group per interval) because removing capacity is cheap
 to defer and expensive to get wrong — the asymmetry the paper's economics
@@ -32,14 +39,15 @@ from repro.metrics.timeseries import TimeSeriesRecorder
 from repro.ml.forecaster import WorkloadForecaster
 from repro.sim.simulator import Simulator
 from repro.storage.cluster import Cluster
+from repro.storage.rebalancer import Rebalancer
 
 
 @dataclass
 class ScalingAction:
-    """One scale-up or scale-down decision, for experiment reporting."""
+    """One scaling or repartitioning decision, for experiment reporting."""
 
     time: float
-    kind: str  # "scale_up", "scale_down", "hold"
+    kind: str  # "scale_up", "scale_down", "repartition", "hold"
     groups_before: int
     groups_after: int
     target_nodes: int
@@ -66,6 +74,8 @@ class ProvisioningController:
         scale_down_patience: int = 5,
         max_groups_per_step: int = 50,
         predictive: bool = True,
+        rebalancer: Optional[Rebalancer] = None,
+        max_consecutive_repartitions: int = 2,
     ) -> None:
         if control_interval <= 0:
             raise ValueError("control_interval must be positive")
@@ -73,6 +83,8 @@ class ProvisioningController:
             raise ValueError("scale_down_patience must be >= 1")
         if max_groups_per_step < 1:
             raise ValueError("max_groups_per_step must be >= 1")
+        if max_consecutive_repartitions < 1:
+            raise ValueError("max_consecutive_repartitions must be >= 1")
         self._sim = simulator
         self._cluster = cluster
         self._pool = pool
@@ -92,6 +104,9 @@ class ProvisioningController:
         self.scale_down_patience = scale_down_patience
         self.max_groups_per_step = max_groups_per_step
         self.predictive = predictive
+        self._rebalancer = rebalancer
+        self.max_consecutive_repartitions = max_consecutive_repartitions
+        self._consecutive_repartitions = 0
         self._group_instances: Dict[str, List[str]] = {}
         self._pending_groups = 0
         self._low_demand_windows = 0
@@ -145,6 +160,8 @@ class ProvisioningController:
             spec=self._spec,
             pending_maintenance=observation.pending_maintenance,
             behind_schedule=behind,
+            mean_utilisation=observation.features.mean_utilisation,
+            max_utilisation=observation.features.max_utilisation,
         )
         action = self._act(plan, observation)
         self._record(now, observation, plan, action)
@@ -156,11 +173,31 @@ class ProvisioningController:
         current_groups = self._cluster.group_count()
         effective_current = current_groups + self._pending_groups
         now = self._sim.now
+        # A violated SLA with cluster-wide headroom is a *placement* problem:
+        # try a split/migrate first, and rent a single group only when the
+        # rebalancer cannot act (e.g. one token hotter than any group).
+        if plan.repartition_candidate and observation.any_sla_violated():
+            action = self._try_repartition(plan, now, current_groups)
+            if action is not None:
+                return action
         if target_groups > effective_current:
+            self._consecutive_repartitions = 0
             to_add = min(target_groups - effective_current, self.max_groups_per_step)
+            launched = 0
             for _ in range(to_add):
-                self._launch_group()
+                if not self._launch_group():
+                    break  # pool exhausted; rent what fits and carry on
+                launched += 1
             self._low_demand_windows = 0
+            if launched == 0:
+                return ScalingAction(
+                    time=now, kind="hold",
+                    groups_before=current_groups,
+                    groups_after=current_groups,
+                    target_nodes=plan.target_nodes,
+                    forecast_rate=plan.forecast_rate,
+                    reason=f"{plan.reason}; pool at capacity",
+                )
             return ScalingAction(
                 time=now, kind="scale_up",
                 groups_before=current_groups,
@@ -169,6 +206,7 @@ class ProvisioningController:
                 forecast_rate=plan.forecast_rate,
                 reason=plan.reason,
             )
+        self._consecutive_repartitions = 0
         if target_groups < current_groups and self._pending_groups == 0:
             self._low_demand_windows += 1
             if self._low_demand_windows >= self.scale_down_patience and current_groups > 1:
@@ -185,6 +223,9 @@ class ProvisioningController:
                     )
         else:
             self._low_demand_windows = 0
+        if self._rebalancer is not None:
+            # Quiet window: free hygiene — merge split points that went cold.
+            self._rebalancer.merge_cold_partitions()
         return ScalingAction(
             time=now, kind="hold",
             groups_before=current_groups,
@@ -194,11 +235,80 @@ class ProvisioningController:
             reason=plan.reason,
         )
 
+    # -------------------------------------------------------------- repartition
+
+    def _try_repartition(self, plan: CapacityPlan, now: float,
+                         current_groups: int) -> Optional[ScalingAction]:
+        """Resolve a hotspot: split/migrate if possible, rent one group if not.
+
+        Returns None (let the ordinary capacity logic run) only when no
+        rebalancer is attached.  With one attached, a hotspot window always
+        produces a decision: a repartition action, a hold while the last
+        migration's load shift settles, or — when the rebalancer cannot act or
+        repeated repartitions have not relieved the pressure — renting a
+        single group, which under the range partitioner splits the busiest
+        group's keyspace anyway.
+        """
+        if self._rebalancer is None:
+            return None
+        if self._rebalancer.find_imbalance() is None:
+            # The planner's node-level hotspot flag has no group-level
+            # counterpart the rebalancer could act on; let the ordinary
+            # capacity logic decide.
+            return None
+        if self._rebalancer.in_cooldown():
+            # A migration's load shift is still settling; acting again now
+            # would double-treat the same hotspot.  Hold one window instead.
+            return ScalingAction(
+                time=now, kind="hold",
+                groups_before=current_groups,
+                groups_after=current_groups,
+                target_nodes=plan.target_nodes,
+                forecast_rate=plan.forecast_rate,
+                reason=f"{plan.reason}; waiting for migration to settle",
+            )
+        action = None
+        if self._consecutive_repartitions < self.max_consecutive_repartitions:
+            action = self._rebalancer.rebalance_once()
+        if action is None:
+            # Placement alone cannot fix this hotspot; rent a single group
+            # (unless the pool is exhausted, in which case fall through).
+            if not self._launch_group():
+                return None
+            self._consecutive_repartitions = 0
+            self._low_demand_windows = 0
+            return ScalingAction(
+                time=now, kind="scale_up",
+                groups_before=current_groups,
+                groups_after=current_groups + self._pending_groups,
+                target_nodes=plan.target_nodes,
+                forecast_rate=plan.forecast_rate,
+                reason=f"{plan.reason}; hotspot unresolved by repartitioning",
+            )
+        self._consecutive_repartitions += 1
+        self._low_demand_windows = 0
+        return ScalingAction(
+            time=now, kind="repartition",
+            groups_before=current_groups,
+            groups_after=current_groups,
+            target_nodes=plan.target_nodes,
+            forecast_rate=plan.forecast_rate,
+            reason=f"{plan.reason}; {action.kind} moved {action.keys_moved} keys "
+                   "instead of renting a group",
+        )
+
     # ----------------------------------------------------------------- scaling up
 
-    def _launch_group(self) -> None:
-        """Rent one replica group's worth of instances; attach when all boot."""
+    def _launch_group(self) -> bool:
+        """Rent one replica group's worth of instances; attach when all boot.
+
+        Returns False (renting nothing) when the pool cannot fit another
+        group — over-asking would raise and kill the whole control loop.
+        """
         replication = self._cluster.replication_factor
+        in_use = self._pool.active_count() + self._pool.booting_count()
+        if in_use + replication > self._pool.max_instances:
+            return False
         self._pending_groups += 1
         ready_instances: List[str] = []
 
@@ -210,6 +320,7 @@ class ProvisioningController:
                 self._pending_groups -= 1
 
         self._pool.launch(count=replication, on_ready=on_ready)
+        return True
 
     # --------------------------------------------------------------- scaling down
 
@@ -254,3 +365,6 @@ class ProvisioningController:
 
     def scale_down_count(self) -> int:
         return sum(1 for a in self._actions if a.kind == "scale_down")
+
+    def repartition_count(self) -> int:
+        return sum(1 for a in self._actions if a.kind == "repartition")

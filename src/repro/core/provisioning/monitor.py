@@ -62,12 +62,18 @@ class SLAMonitor:
         latency_model: LatencyPercentileModel,
         lag_model: PropagationLagModel,
         slas: Dict[str, PerformanceSLA],
+        exclude_hotspot_training: bool = False,
+        hotspot_skew_ratio: float = 1.6,
     ) -> None:
+        if hotspot_skew_ratio <= 1.0:
+            raise ValueError("hotspot_skew_ratio must be > 1")
         self._cluster = cluster
         self._provider = stats_provider
         self._latency_model = latency_model
         self._lag_model = lag_model
         self._slas = dict(slas)
+        self._exclude_hotspot_training = exclude_hotspot_training
+        self._hotspot_skew_ratio = hotspot_skew_ratio
         self._extractor = FeatureExtractor()
         self._last_counts: Dict[str, int] = {}
         self._last_time: Optional[float] = None
@@ -126,11 +132,23 @@ class SLAMonitor:
             return
         # Train the latency model on the op type the primary SLA cares about
         # (reads by default), falling back to any op type with traffic.
+        # Hotspot windows (one node far hotter than the cluster mean) are
+        # optionally excluded: their tail latency reflects *placement*, not
+        # capacity, and training on them teaches the capacity model that
+        # adding nodes never helps.  The repartition branch owns that regime.
+        train_latency = not (
+            self._exclude_hotspot_training
+            and observation.features.max_utilisation
+            >= self._hotspot_skew_ratio * max(observation.features.mean_utilisation, 1e-9)
+            and observation.features.max_utilisation >= 0.3
+        )
         for op_type, sla in self._slas.items():
             report = observation.sla_reports.get(op_type)
             if report is None or report.request_count == 0:
                 continue
-            self._latency_model.observe(observation.features, report.observed_percentile_latency)
+            if train_latency:
+                self._latency_model.observe(observation.features,
+                                            report.observed_percentile_latency)
         self._lag_model.observe(
             pending_updates=observation.pending_maintenance,
             per_node_rate=observation.features.per_node_rate,

@@ -27,6 +27,10 @@ class CapacityPlan:
     utilisation_required_nodes: int
     staleness_pressure: bool
     reason: str
+    # True when the observed load pattern suggests the SLA pressure comes from
+    # *placement* (one hot group, cluster-wide headroom), so a split/migrate
+    # should be tried before renting another replica group.
+    repartition_candidate: bool = False
 
     def describe(self) -> str:
         return (
@@ -50,6 +54,9 @@ class CapacityPlanner:
         max_nodes: hard cap (the pool's size, or a budget cap).
         staleness_scale_factor: extra capacity multiplier applied when the
             update queue is predicted to endanger the staleness bound.
+        repartition_hot_utilisation: a window whose worst node exceeds this
+            while the cluster mean stays under ``target_utilisation`` is
+            flagged as a repartition candidate (hotspot, not overload).
     """
 
     def __init__(
@@ -61,6 +68,7 @@ class CapacityPlanner:
         min_nodes: int = 2,
         max_nodes: int = 10_000,
         staleness_scale_factor: float = 1.25,
+        repartition_hot_utilisation: float = 0.75,
     ) -> None:
         if not 0.0 < target_utilisation < 1.0:
             raise ValueError("target_utilisation must be in (0, 1)")
@@ -70,6 +78,9 @@ class CapacityPlanner:
             raise ValueError("node_capacity_ops must be positive")
         if staleness_scale_factor < 1.0:
             raise ValueError("staleness_scale_factor must be >= 1")
+        if not 0.0 < repartition_hot_utilisation <= 1.5:
+            raise ValueError("repartition_hot_utilisation must be in (0, 1.5]")
+        self.repartition_hot_utilisation = repartition_hot_utilisation
         self.latency_model = latency_model
         self.lag_model = lag_model
         self.node_capacity_ops = node_capacity_ops
@@ -86,8 +97,15 @@ class CapacityPlanner:
         spec: ConsistencySpec,
         pending_maintenance: int = 0,
         behind_schedule: bool = False,
+        mean_utilisation: float = 0.0,
+        max_utilisation: float = 0.0,
     ) -> CapacityPlan:
-        """Compute the target node count for the forecast workload."""
+        """Compute the target node count for the forecast workload.
+
+        ``mean_utilisation`` / ``max_utilisation`` are the observed cluster
+        load statistics; a wide gap between them marks the plan as a
+        repartition candidate (see :class:`CapacityPlan`).
+        """
         if forecast_rate < 0:
             raise ValueError("forecast_rate must be non-negative")
         # Latency requirement: the strictest SLA wins.
@@ -121,6 +139,15 @@ class CapacityPlanner:
         reason = "latency model" if latency_nodes >= utilisation_nodes else "utilisation ceiling"
         if staleness_pressure:
             reason += " + staleness headroom"
+        # Hotspot, not overload: the worst node is past the hot threshold while
+        # the cluster mean still has headroom, so moving load is likely cheaper
+        # than adding capacity.
+        repartition_candidate = (
+            max_utilisation >= self.repartition_hot_utilisation
+            and mean_utilisation <= self.target_utilisation
+        )
+        if repartition_candidate:
+            reason += " (hotspot: repartition candidate)"
         return CapacityPlan(
             target_nodes=target,
             forecast_rate=forecast_rate,
@@ -128,4 +155,5 @@ class CapacityPlanner:
             utilisation_required_nodes=utilisation_nodes,
             staleness_pressure=staleness_pressure,
             reason=reason,
+            repartition_candidate=repartition_candidate,
         )

@@ -12,14 +12,20 @@ from repro.storage.records import KeyRange, Record, VersionedValue
 from repro.storage.node import NodeStats, StorageNode
 from repro.storage.partitioner import (
     ConsistentHashPartitioner,
+    PartitionInfo,
     Partitioner,
     RangePartitioner,
 )
 from repro.storage.replication import ReplicaGroup, ReplicationEngine
 from repro.storage.router import RequestResult, Router
-from repro.storage.cluster import Cluster
+from repro.storage.cluster import Cluster, MigrationRecord
 from repro.storage.durability import DurabilityModel
 from repro.storage.failure import FailureInjector
+from repro.storage.rebalancer import (
+    PartitionLoadTracker,
+    RebalanceAction,
+    Rebalancer,
+)
 
 __all__ = [
     "Record",
@@ -28,6 +34,7 @@ __all__ = [
     "StorageNode",
     "NodeStats",
     "Partitioner",
+    "PartitionInfo",
     "RangePartitioner",
     "ConsistentHashPartitioner",
     "ReplicaGroup",
@@ -35,6 +42,10 @@ __all__ = [
     "Router",
     "RequestResult",
     "Cluster",
+    "MigrationRecord",
     "DurabilityModel",
     "FailureInjector",
+    "PartitionLoadTracker",
+    "RebalanceAction",
+    "Rebalancer",
 ]

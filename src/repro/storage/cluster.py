@@ -5,26 +5,64 @@ added and removed in units of *replica groups* (a primary plus R-1 replicas),
 which keeps the replication factor — and therefore the durability SLA —
 invariant under scaling.  Adding or removing a group triggers live data
 movement driven by the partitioner's new ownership map.
+
+Besides whole-group scaling, the cluster supports *sub-group* repartitioning
+actions — :meth:`Cluster.split_partition`, :meth:`Cluster.merge_partitions`,
+:meth:`Cluster.migrate_partition`, and :meth:`Cluster.shift_weight` — that
+move only the keys whose owner actually changed.  Each such move is a *live
+migration*: the keys are copied to the new owner immediately, the move is
+charged a simulated duration (``keys_moved / movement_rate``, plus one
+network hop between the primaries), and until that duration elapses the
+migration is "in flight" — the router dual-routes requests for the affected
+keys so none are dropped, and the source copies are only deleted when the
+migration completes.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
-from repro.sim.network import NetworkModel
+from repro.sim.network import NetworkModel, NetworkPartitionError
 from repro.sim.simulator import Simulator
 from repro.storage.node import StorageNode
 from repro.storage.partitioner import (
     ConsistentHashPartitioner,
+    PartitionInfo,
     Partitioner,
     RangePartitioner,
+    partition_token,
 )
 from repro.storage.records import Key, KeyRange
 from repro.storage.replication import ReplicaGroup, ReplicationEngine
+
+
+@dataclass
+class MigrationRecord:
+    """One in-flight (or completed) targeted key-range migration.
+
+    ``tokens`` is the set of partition tokens whose data was copied to the
+    target; while the migration is in flight, requests for those tokens are
+    dual-routed (new owner first, source as fallback) and the source copies
+    still exist.  ``end_time`` is when the simulated transfer finishes and the
+    source copies are reclaimed.
+    """
+
+    migration_id: str
+    source_group: str
+    target_group: str
+    tokens: Set[str]
+    keys_moved: int
+    start_time: float
+    end_time: float
+    completed: bool = False
+
+    @property
+    def duration(self) -> float:
+        return self.end_time - self.start_time
 
 
 @dataclass
@@ -43,6 +81,9 @@ class ClusterStats:
 class Cluster:
     """A simulated elastic storage cluster.
 
+    Class attribute ``MIGRATION_COMPLETION_RETRY`` is how often a finished
+    transfer re-checks a still-down target before reclaiming source copies.
+
     Args:
         simulator: discrete-event simulator shared by all components.
         replication_factor: nodes per replica group.
@@ -52,6 +93,8 @@ class Cluster:
         movement_rate_keys_per_sec: how fast data movement proceeds; used to
             account a rebalance duration so scale-up is not instantaneous.
     """
+
+    MIGRATION_COMPLETION_RETRY = 5.0
 
     def __init__(
         self,
@@ -79,6 +122,13 @@ class Cluster:
         self._group_counter = itertools.count()
         self._keys_moved_total = 0
         self._rebalance_count = 0
+        self._migrations: List[MigrationRecord] = []
+        self._migration_counter = itertools.count()
+        self._splits_total = 0
+        self._merges_total = 0
+        self._migrations_total = 0
+        self._migration_seconds_total = 0.0
+        self._load_tracker = None
 
         if partitioner_kind == "hash":
             self.partitioner: Partitioner = ConsistentHashPartitioner()
@@ -133,8 +183,64 @@ class Cluster:
         else:
             self.partitioner.add_group(group_id)
         if len(self.groups) > 1:
-            self._rebalance()
+            if isinstance(self.partitioner, RangePartitioner):
+                # Ranges do not redistribute by themselves: hand the new group
+                # a slice of the busiest group's keys (a live migration).
+                self._seed_range_for_new_group(group_id)
+            else:
+                self._rebalance()
         return group
+
+    def group_mean_utilisation(self, group_id: str) -> float:
+        """Mean utilisation over one group's alive nodes (0 when none alive)."""
+        group = self.groups[group_id]
+        alive = [self.nodes[n] for n in group.node_ids if self.nodes[n].alive]
+        if not alive:
+            return 0.0
+        return sum(node.utilisation() for node in alive) / len(alive)
+
+    def _seed_range_for_new_group(self, group_id: str) -> None:
+        """Split the busiest group's fullest partition and migrate half of it
+        to a freshly added group.
+
+        This is the *load-oblivious* way capacity relieves pressure under the
+        range partitioner — the donor group is chosen by node utilisation but
+        the split point is the stored-key median, not the load median (the
+        load-aware rebalancer does better; this is its add-a-group baseline).
+        """
+        donors = [g for g in self.groups.values() if g.group_id != group_id]
+
+        def donor_load(group: ReplicaGroup) -> Tuple[float, int]:
+            return (self.group_mean_utilisation(group.group_id),
+                    self.nodes[group.primary].key_count())
+
+        donor = max(donors, key=donor_load)
+        owned = [p for p in self.partitioner.partitions() if p.owner == donor.group_id]
+        if not owned:
+            return
+        primary = self.nodes[donor.primary]
+        # One scan of the donor's primary, bucketing tokens per partition.
+        tokens_by_index: Dict[int, set] = {p.index: set() for p in owned}
+        owned_by_index = {p.index: p for p in owned}
+        for namespace in primary.namespaces():
+            for key, _ in primary.scan_namespace(namespace):
+                token = partition_token(key)
+                info = self.partitioner.partition_for_token(token)
+                if info.index in tokens_by_index:
+                    tokens_by_index[info.index].add(token)
+        best_index = max(tokens_by_index, key=lambda i: len(tokens_by_index[i]))
+        best = owned_by_index[best_index]
+        best_tokens = sorted(tokens_by_index[best_index])
+        if len(best_tokens) < 2:
+            return  # nothing worth splitting yet; the group joins empty
+        # best_tokens is sorted and unique with len >= 2, so the median index
+        # (>= 1) is strictly greater than the partition's lower bound.
+        median = best_tokens[len(best_tokens) // 2]
+        self.partitioner.split_at(median)
+        self.partitioner.reassign(
+            self.partitioner.partition_for_token(median).index, group_id
+        )
+        self._migrate_changed_keys()
 
     def remove_replica_group(self, group_id: str) -> None:
         """Decommission a replica group after moving its data to the new owners."""
@@ -143,6 +249,24 @@ class Cluster:
         if len(self.groups) == 1:
             raise ValueError("cannot remove the last replica group")
         group = self.groups[group_id]
+        if isinstance(self.partitioner, RangePartitioner):
+            # Hand the departing group's ranges to the least-loaded survivors
+            # (the partitioner's own fallback would pile them onto the first
+            # group, re-creating exactly the hotspots scale-down should not).
+            survivors = [g for g in self.groups.values() if g.group_id != group_id]
+            # Utilisation EWMAs do not move inside this loop, so spread the
+            # departing partitions by also counting what each survivor has
+            # already been handed — otherwise they all pile onto one group.
+            handed: Dict[str, int] = {g.group_id: 0 for g in survivors}
+            for part in self.partitioner.partitions():
+                if part.owner == group_id:
+                    target = min(
+                        survivors,
+                        key=lambda g: (handed[g.group_id],
+                                       self.group_mean_utilisation(g.group_id)),
+                    )
+                    handed[target.group_id] += 1
+                    self.partitioner.reassign(part.index, target.group_id)
         self.partitioner.remove_group(group_id)
         # Move every key the departing group holds to its new owner.
         primary = self.nodes[group.primary]
@@ -151,7 +275,14 @@ class Cluster:
             for key, value in primary.scan_namespace(namespace):
                 target_group = self.groups[self.partitioner.group_for_key(namespace, key)]
                 for node_id in target_group.node_ids:
-                    self.nodes[node_id].apply_replica_write(namespace, key, value)
+                    node = self.nodes[node_id]
+                    if node.alive:
+                        node.apply_replica_write(namespace, key, value)
+                    else:
+                        # Decommission must survive a crashed receiver; the
+                        # copy is delivered with retries once it recovers.
+                        self.replication.replicate_to(
+                            group.primary, node_id, namespace, key, value)
                 moved += 1
         self._keys_moved_total += moved
         for node_id in group.node_ids:
@@ -192,6 +323,258 @@ class Cluster:
         if self.movement_rate_keys_per_sec <= 0:
             return 0.0
         return moved / self.movement_rate_keys_per_sec
+
+    # ---------------------------------------------------------- repartitioning
+
+    def _require_range_partitioner(self, operation: str) -> RangePartitioner:
+        if not isinstance(self.partitioner, RangePartitioner):
+            raise TypeError(f"{operation} requires the range partitioner; "
+                            f"got {type(self.partitioner).__name__}")
+        return self.partitioner
+
+    def split_partition(self, token: str) -> PartitionInfo:
+        """Split the partition containing ``token`` at ``token`` (range only).
+
+        A split moves no data — it creates the migratable unit a subsequent
+        :meth:`migrate_partition` can hand to a colder replica group.
+        """
+        info = self._require_range_partitioner("split_partition").split_at(token)
+        self._splits_total += 1
+        return info
+
+    def migrate_partition(self, token: str,
+                          target_group_id: str) -> Optional[MigrationRecord]:
+        """Reassign the partition containing ``token`` and move only its keys.
+
+        Returns the in-flight :class:`MigrationRecord`, or None when the
+        partition already belongs to the target or holds no keys.
+        """
+        partitioner = self._require_range_partitioner("migrate_partition")
+        if target_group_id not in self.groups:
+            raise KeyError(f"unknown replica group {target_group_id!r}")
+        info = partitioner.partition_for_token(token)
+        if info.owner == target_group_id:
+            return None
+        if not self.nodes[self.groups[info.owner].primary].alive:
+            # Reassigning now would move ownership without moving any data
+            # (the changed-key sweep cannot scan a dead primary), making the
+            # range unreachable.  Leave ownership alone until it recovers.
+            return None
+        partitioner.reassign(info.index, target_group_id)
+        records = self._migrate_changed_keys()
+        for record in records:
+            if record.source_group == info.owner and record.target_group == target_group_id:
+                return record
+        return None
+
+    def merge_partitions(self, token: str) -> int:
+        """Merge the partition containing ``token`` with its right neighbour.
+
+        When the neighbours have different owners the right-hand partition is
+        first migrated to the left owner; the returned count is the keys that
+        migration moved (0 for a same-owner merge, which is free).
+        """
+        partitioner = self._require_range_partitioner("merge_partitions")
+        info = partitioner.partition_for_token(token)
+        if info.upper is None:
+            raise ValueError(f"partition containing {token!r} has no right neighbour")
+        right = partitioner.partition_for_token(info.upper)
+        moved = 0
+        if right.owner != info.owner:
+            if not self.nodes[self.groups[right.owner].primary].alive:
+                raise ValueError(
+                    f"cannot merge: the primary of {right.owner!r} is down, so "
+                    "its keys cannot be moved to the surviving owner"
+                )
+            partitioner.reassign(right.index, info.owner)
+            moved = sum(r.keys_moved for r in self._migrate_changed_keys())
+        partitioner.merge_at(info.index)
+        self._merges_total += 1
+        return moved
+
+    def shift_weight(self, from_group_id: str, to_group_id: str,
+                     step: float = 0.25, min_weight: float = 0.25) -> List[MigrationRecord]:
+        """Shift ring weight between groups (hash only) and move only the
+        keys whose owner changed.
+
+        Weight is conserved: the receiver gains exactly what the donor sheds,
+        so a donor already clamped at ``min_weight`` makes this a no-op
+        (returning []) instead of silently inflating total ring weight and
+        taking share from uninvolved groups.
+        """
+        if not isinstance(self.partitioner, ConsistentHashPartitioner):
+            raise TypeError("shift_weight requires the consistent-hash partitioner; "
+                            f"got {type(self.partitioner).__name__}")
+        if step <= 0:
+            raise ValueError(f"step must be positive, got {step}")
+        for group_id in (from_group_id, to_group_id):
+            if group_id not in self.groups:
+                raise KeyError(f"unknown replica group {group_id!r}")
+        from_weight = self.partitioner.weight_of(from_group_id)
+        new_from_weight = max(from_weight - step, min_weight)
+        shed = from_weight - new_from_weight
+        if shed <= 0:
+            return []
+        self.partitioner.set_weight(from_group_id, new_from_weight)
+        self.partitioner.set_weight(
+            to_group_id, self.partitioner.weight_of(to_group_id) + shed
+        )
+        return self._migrate_changed_keys()
+
+    def _migrate_changed_keys(self) -> List[MigrationRecord]:
+        """Copy keys whose partitioner owner changed to their new groups.
+
+        Unlike :meth:`_rebalance` (used for whole-group add/remove), the
+        source copies are not deleted immediately: each (source, target) pair
+        becomes an in-flight :class:`MigrationRecord` whose simulated transfer
+        time is charged, and reclamation happens at completion so the router
+        can dual-route in the meantime.
+        """
+        in_flight_by_source: Dict[str, Set[str]] = {}
+        for record in self._migrations:
+            in_flight_by_source.setdefault(record.source_group, set()).update(record.tokens)
+        moves: Dict[Tuple[str, str], List[Tuple[str, Key, object]]] = {}
+        for group in list(self.groups.values()):
+            primary = self.nodes[group.primary]
+            if not primary.alive:
+                continue
+            already_moving = in_flight_by_source.get(group.group_id, set())
+            for namespace in primary.namespaces():
+                for key, value in primary.scan_namespace(namespace):
+                    owner = self.partitioner.group_for_key(namespace, key)
+                    if owner == group.group_id:
+                        continue
+                    if partition_token(key) in already_moving:
+                        # This copy is the source side of an in-flight
+                        # migration; its reclamation is already scheduled.
+                        continue
+                    moves.setdefault((group.group_id, owner), []).append(
+                        (namespace, key, value)
+                    )
+        records = []
+        for (source_id, target_id), items in moves.items():
+            target_group = self.groups[target_id]
+            source_primary_id = self.groups[source_id].primary
+            tokens: Set[str] = set()
+            for namespace, key, value in items:
+                for node_id in target_group.node_ids:
+                    node = self.nodes[node_id]
+                    if node.alive:
+                        node.apply_replica_write(namespace, key, value)
+                    else:
+                        # A downed target replica must still receive the copy
+                        # once it recovers, or the key silently vanishes from
+                        # it after source reclamation.
+                        self.replication.replicate_to(
+                            source_primary_id, node_id, namespace, key, value)
+                tokens.add(partition_token(key))
+            moved = len(items)
+            self._keys_moved_total += moved
+            duration = (moved / self.movement_rate_keys_per_sec
+                        if self.movement_rate_keys_per_sec > 0 else 0.0)
+            try:
+                # One bulk-transfer hop between the primaries; if they are
+                # partitioned the state copy is still modelled (the migration
+                # would simply stall until heal in a real system).
+                duration += self.network.delay(self.groups[source_id].primary,
+                                               target_group.primary)
+            except NetworkPartitionError:
+                pass
+            record = MigrationRecord(
+                migration_id=f"migration-{next(self._migration_counter)}",
+                source_group=source_id,
+                target_group=target_id,
+                tokens=tokens,
+                keys_moved=moved,
+                start_time=self.sim.now,
+                end_time=self.sim.now + duration,
+            )
+            self._migrations.append(record)
+            self._migrations_total += 1
+            self._migration_seconds_total += duration
+            self.sim.schedule(duration, lambda r=record: self._complete_migration(r),
+                              name=f"{record.migration_id}:{source_id}->{target_id}")
+            records.append(record)
+        return records
+
+    def _complete_migration(self, record: MigrationRecord) -> None:
+        """Reclaim the source copies once the simulated transfer has finished.
+
+        Completion is deferred while any target node is down: the bounded
+        retry budget of the catch-up deliveries could otherwise expire during
+        a long outage, after which reclaiming the source copies would lose
+        the keys.  Deferral is safe — the record stays in flight, so the
+        router keeps dual-routing and the source keeps serving.
+        """
+        target = self.groups.get(record.target_group)
+        if target is not None and any(
+            self.nodes.get(node_id) is None or not self.nodes[node_id].alive
+            for node_id in target.node_ids
+        ):
+            self.sim.schedule(self.MIGRATION_COMPLETION_RETRY,
+                              lambda: self._complete_migration(record),
+                              name=f"{record.migration_id}:await-target")
+            return
+        record.completed = True
+        if record in self._migrations:
+            self._migrations.remove(record)
+        source = self.groups.get(record.source_group)
+        if source is None:
+            return  # the source group was decommissioned mid-flight
+        target_nodes = ([self.nodes[n] for n in target.node_ids]
+                        if target is not None else [])
+        for node_id in source.node_ids:
+            node = self.nodes.get(node_id)
+            if node is None or not node.alive:
+                # A crashed source keeps its stale copies; they are detected
+                # and re-moved by the next changed-key sweep after recovery.
+                continue
+            for namespace in node.namespaces():
+                store = node._store(namespace)  # noqa: SLF001 - cluster owns its nodes
+                doomed = [
+                    key for key, _ in node.scan_namespace(namespace)
+                    if partition_token(key) in record.tokens
+                    # Ownership may have moved *back* since this migration
+                    # started (ping-pong); never reclaim what we now own.
+                    and self.partitioner.group_for_key(namespace, key)
+                    != record.source_group
+                ]
+                for key in doomed:
+                    # Final refresh before reclaiming: catch-up deliveries
+                    # that expired during the window must not lose the
+                    # freshest source-side copy (last-write-wins applies).
+                    value = store.get(key)
+                    if value is not None:
+                        for target_node in target_nodes:
+                            target_node.apply_replica_write(namespace, key, value)
+                    store.delete(key)
+
+    def active_migrations(self) -> List[MigrationRecord]:
+        """Migrations whose simulated transfer has not finished yet."""
+        return list(self._migrations)
+
+    def migrations_for_key(self, namespace: str, key: Key) -> List[MigrationRecord]:
+        """All in-flight migrations covering ``key``, oldest first.
+
+        More than one record can cover a key when a range is migrated again
+        while an earlier transfer is still in flight (A->B then B->C); the
+        router must dual-route against every source still holding copies.
+        """
+        if not self._migrations:
+            return []
+        token = partition_token(key)
+        return [record for record in self._migrations if token in record.tokens]
+
+    # ---------------------------------------------------------- load tracking
+
+    def attach_load_tracker(self, tracker) -> None:
+        """Attach a per-partition load tracker fed by the router's accesses."""
+        self._load_tracker = tracker
+
+    def note_access(self, namespace: str, key: Key, is_write: bool) -> None:
+        """Router hook: record one client access for per-partition load stats."""
+        if self._load_tracker is not None:
+            self._load_tracker.note(partition_token(key), is_write, self.sim.now)
 
     # ----------------------------------------------------------------- routing
 
@@ -235,9 +618,26 @@ class Cluster:
 
     @property
     def keys_moved_total(self) -> int:
-        """Total keys moved by all rebalances (data-movement cost metric)."""
+        """Total keys moved by all rebalances and migrations (data-movement cost)."""
         return self._keys_moved_total
 
     @property
     def rebalance_count(self) -> int:
         return self._rebalance_count
+
+    @property
+    def splits_total(self) -> int:
+        return self._splits_total
+
+    @property
+    def merges_total(self) -> int:
+        return self._merges_total
+
+    @property
+    def migrations_total(self) -> int:
+        return self._migrations_total
+
+    @property
+    def migration_seconds_total(self) -> float:
+        """Simulated seconds spent transferring keys in targeted migrations."""
+        return self._migration_seconds_total

@@ -206,15 +206,20 @@ class StorageNode:
             self._namespaces[namespace] = _NamespaceStore()
         return self._namespaces[namespace]
 
-    def peek(self, namespace: str, key: Key) -> Optional[VersionedValue]:
+    def peek(self, namespace: str, key: Key,
+             include_tombstones: bool = False) -> Optional[VersionedValue]:
         """Read the current version of a key without touching the load model.
 
         Used by the write path to determine the next version number and by
         replication/consistency internals; client reads go through :meth:`get`.
+        ``include_tombstones`` exposes deletion markers: the write path needs
+        them so a re-created key's version advances past its tombstone's —
+        otherwise a delete and a re-create issued at the same simulated time
+        tie under last-write-wins and replicas keep whichever arrived last.
         """
         self._check_alive()
         value = self._store(namespace).get(key)
-        if value is not None and value.tombstone:
+        if value is not None and value.tombstone and not include_tombstones:
             return None
         return value
 

@@ -5,18 +5,24 @@ user id), so both partitioners guarantee that such a range lands on exactly
 one replica group — the paper's "at most one read from a small constant
 number of computers" property.  Two strategies are provided:
 
-* :class:`ConsistentHashPartitioner` — a hash ring with virtual nodes; adding
-  or removing a replica group moves roughly ``1/n`` of the data, which is what
-  makes fine-grained elastic scaling cheap.
+* :class:`ConsistentHashPartitioner` — a hash ring with *weighted* virtual
+  nodes; adding or removing a replica group moves roughly ``1/n`` of the data,
+  and shifting weight between groups moves only the hash ranges covered by the
+  added/removed virtual nodes, which is what makes fine-grained elastic
+  scaling cheap.
 * :class:`RangePartitioner` — explicit split points over the partition key,
   closer to how BigTable/HBase shard; useful when key locality matters and as
-  a comparison point in the data-movement ablation.
+  a comparison point in the data-movement ablation.  Supports incremental
+  topology changes (:meth:`~RangePartitioner.split_at`,
+  :meth:`~RangePartitioner.merge_at`, :meth:`~RangePartitioner.reassign`) so
+  the hot-partition rebalancer can repair skew without a whole-ring reshuffle.
 """
 
 from __future__ import annotations
 
 import bisect
 import hashlib
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.storage.records import Key, KeyRange, key_part_successor
@@ -35,6 +41,25 @@ def _hash64(value: str) -> int:
     """Stable 64-bit hash used for ring placement (md5 is stable across runs)."""
     digest = hashlib.md5(value.encode("utf-8")).digest()
     return int.from_bytes(digest[:8], "big")
+
+
+@dataclass(frozen=True)
+class PartitionInfo:
+    """One contiguous token range and the replica group that owns it.
+
+    ``lower`` is the inclusive lower bound (``""`` means unbounded below) and
+    ``upper`` is the exclusive upper bound (``None`` means unbounded above).
+    """
+
+    index: int
+    lower: str
+    upper: Optional[str]
+    owner: str
+
+    def contains_token(self, token: str) -> bool:
+        if token < self.lower:
+            return False
+        return self.upper is None or token < self.upper
 
 
 class Partitioner:
@@ -62,7 +87,13 @@ class Partitioner:
 
 
 class ConsistentHashPartitioner(Partitioner):
-    """Consistent hashing over partition tokens with virtual nodes."""
+    """Consistent hashing over partition tokens with weighted virtual nodes.
+
+    Each group places ``round(virtual_nodes * weight)`` points on the ring.
+    Changing a group's weight adds or removes only that group's points, so the
+    set of tokens whose owner changes is proportional to the weight delta —
+    the incremental topology change the hot-partition rebalancer relies on.
+    """
 
     def __init__(self, group_ids: Sequence[str] = (), virtual_nodes: int = 64) -> None:
         if virtual_nodes <= 0:
@@ -71,18 +102,73 @@ class ConsistentHashPartitioner(Partitioner):
         self._ring: List[int] = []
         self._ring_owners: Dict[int, str] = {}
         self._groups: List[str] = []
+        self._weights: Dict[str, float] = {}
+        # Ring points each group actually owns, in vnode-index order, so
+        # weight reductions can retire the most recently placed points first.
+        self._points: Dict[str, List[int]] = {}
         for group_id in group_ids:
             self.add_group(group_id)
 
     def groups(self) -> List[str]:
         return list(self._groups)
 
-    def add_group(self, group_id: str) -> None:
+    def add_group(self, group_id: str, weight: float = 1.0) -> None:
         if group_id in self._groups:
             raise PartitionerError(f"group {group_id!r} already registered")
+        if weight <= 0:
+            raise PartitionerError(f"group weight must be positive, got {weight}")
         self._groups.append(group_id)
-        for i in range(self._virtual_nodes):
-            point = _hash64(f"{group_id}#{i}")
+        self._weights[group_id] = weight
+        self._points[group_id] = []
+        self._add_vnodes(group_id, self._target_vnodes(weight))
+
+    def remove_group(self, group_id: str) -> None:
+        if group_id not in self._groups:
+            raise PartitionerError(f"group {group_id!r} is not registered")
+        if len(self._groups) == 1:
+            raise PartitionerError("cannot remove the last replica group")
+        self._groups.remove(group_id)
+        del self._weights[group_id]
+        for point in self._points.pop(group_id):
+            del self._ring_owners[point]
+            index = bisect.bisect_left(self._ring, point)
+            self._ring.pop(index)
+
+    # ------------------------------------------------------------ weighted vnodes
+
+    def weight_of(self, group_id: str) -> float:
+        if group_id not in self._groups:
+            raise PartitionerError(f"group {group_id!r} is not registered")
+        return self._weights[group_id]
+
+    def set_weight(self, group_id: str, weight: float) -> int:
+        """Change a group's ring weight; returns the vnode count delta.
+
+        Only the ring points added or removed change token ownership, so the
+        data movement a weight change implies is incremental, not a reshuffle.
+        """
+        if group_id not in self._groups:
+            raise PartitionerError(f"group {group_id!r} is not registered")
+        if weight <= 0:
+            raise PartitionerError(f"group weight must be positive, got {weight}")
+        target = self._target_vnodes(weight)
+        current = len(self._points[group_id])
+        self._weights[group_id] = weight
+        if target > current:
+            self._add_vnodes(group_id, target)
+        elif target < current:
+            self._remove_vnodes(group_id, target)
+        return target - current
+
+    def _target_vnodes(self, weight: float) -> int:
+        return max(1, int(round(self._virtual_nodes * weight)))
+
+    def _add_vnodes(self, group_id: str, target: int) -> None:
+        points = self._points[group_id]
+        index = len(points)
+        while len(points) < target:
+            point = _hash64(f"{group_id}#{index}")
+            index += 1
             # Hash collisions between distinct vnode labels are effectively
             # impossible with a 64-bit space, but keep ownership deterministic
             # if one ever occurred by preferring the existing owner.
@@ -90,20 +176,15 @@ class ConsistentHashPartitioner(Partitioner):
                 continue
             bisect.insort(self._ring, point)
             self._ring_owners[point] = group_id
+            points.append(point)
 
-    def remove_group(self, group_id: str) -> None:
-        if group_id not in self._groups:
-            raise PartitionerError(f"group {group_id!r} is not registered")
-        self._groups.remove(group_id)
-        remaining_points = []
-        for point in self._ring:
-            if self._ring_owners[point] == group_id:
-                del self._ring_owners[point]
-            else:
-                remaining_points.append(point)
-        self._ring = remaining_points
-        if not self._groups:
-            raise PartitionerError("cannot remove the last replica group")
+    def _remove_vnodes(self, group_id: str, target: int) -> None:
+        points = self._points[group_id]
+        while len(points) > target:
+            point = points.pop()
+            del self._ring_owners[point]
+            index = bisect.bisect_left(self._ring, point)
+            self._ring.pop(index)
 
     def group_for_token(self, token: str) -> str:
         """The group owning an arbitrary partition token."""
@@ -213,6 +294,69 @@ class RangePartitioner(Partitioner):
                 seen.add(split)
         self._splits = unique_splits
         self._owners = list(groups[: len(unique_splits)])
+
+    # ----------------------------------------------------- incremental topology
+
+    def partitions(self) -> List[PartitionInfo]:
+        """Every contiguous token range and its owner, in token order."""
+        infos = []
+        for index, lower in enumerate(self._splits):
+            upper = self._splits[index + 1] if index + 1 < len(self._splits) else None
+            infos.append(PartitionInfo(index=index, lower=lower, upper=upper,
+                                       owner=self._owners[index]))
+        return infos
+
+    def partition_for_token(self, token: str) -> PartitionInfo:
+        """The partition whose range contains ``token``."""
+        index = bisect.bisect_right(self._splits, token) - 1
+        upper = self._splits[index + 1] if index + 1 < len(self._splits) else None
+        return PartitionInfo(index=index, lower=self._splits[index], upper=upper,
+                             owner=self._owners[index])
+
+    def split_at(self, token: str) -> PartitionInfo:
+        """Split the partition containing ``token`` at ``token``.
+
+        The new right-hand partition keeps the old owner, so a split by itself
+        moves no data — it only creates a migratable unit.
+        """
+        if not token:
+            raise PartitionerError('cannot split at ""; it is already the first bound')
+        if token in self._splits:
+            raise PartitionerError(f"{token!r} is already a split point")
+        index = bisect.bisect_right(self._splits, token) - 1
+        owner = self._owners[index]
+        self._splits.insert(index + 1, token)
+        self._owners.insert(index + 1, owner)
+        return self.partition_for_token(token)
+
+    def merge_at(self, index: int) -> PartitionInfo:
+        """Merge partition ``index`` with its right neighbour (same owner only).
+
+        Merging differently-owned partitions would silently reassign data;
+        callers must :meth:`reassign` (and move the keys) first.
+        """
+        if index < 0 or index >= len(self._splits) - 1:
+            raise PartitionerError(f"partition {index} has no right neighbour to merge")
+        if self._owners[index] != self._owners[index + 1]:
+            raise PartitionerError(
+                f"partitions {index} and {index + 1} have different owners "
+                f"({self._owners[index]!r} vs {self._owners[index + 1]!r}); "
+                "reassign before merging"
+            )
+        self._splits.pop(index + 1)
+        self._owners.pop(index + 1)
+        return self.partitions()[index]
+
+    def reassign(self, index: int, new_owner: str) -> PartitionInfo:
+        """Hand partition ``index`` to ``new_owner`` (its keys must be moved)."""
+        if index < 0 or index >= len(self._splits):
+            raise PartitionerError(f"no partition with index {index}")
+        if new_owner not in self._groups:
+            raise PartitionerError(f"group {new_owner!r} is not registered")
+        self._owners[index] = new_owner
+        return self.partitions()[index]
+
+    # ------------------------------------------------------------------- routing
 
     def group_for_token(self, token: str) -> str:
         index = bisect.bisect_right(self._splits, token) - 1

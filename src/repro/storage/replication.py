@@ -189,6 +189,33 @@ class ReplicationEngine:
 
         self._sim.schedule(self._retry_interval, retry, name="replicate-retry")
 
+    def replicate_to(
+        self,
+        source_id: str,
+        replica_id: str,
+        namespace: str,
+        key: Key,
+        value: VersionedValue,
+    ) -> PropagationRecord:
+        """Propagate one write to one specific node, with the retry loop.
+
+        Used by the router's migration dual-write path: a write accepted at
+        the migration source while the target primary is down must still
+        reach that primary once it recovers, or reclamation of the source
+        copies would lose it.
+        """
+        record = PropagationRecord(
+            namespace=namespace,
+            key=key,
+            write_time=self._sim.now,
+            replica_id=replica_id,
+        )
+        self._history.append(record)
+        self._pending += 1
+        self._schedule_apply(source_id, replica_id, namespace, key, value,
+                             record, None, retries_left=self._max_retries)
+        return record
+
     # --------------------------------------------------------------- sync path
 
     def synchronous_write(

@@ -6,6 +6,13 @@ hops and node service time, performs asynchronous or quorum replication, and
 reports per-request latency and success.  Session guarantees and consistency
 policy live one layer up (``repro.core.consistency``); the router only offers
 the mechanisms they need (read-from-primary, quorum writes, version metadata).
+
+When a targeted migration is in flight for a key (see
+``repro.storage.cluster.MigrationRecord``), requests against it are
+*dual-routed* instead of dropped: reads prefer the new owner but fall back to
+the source group (which keeps its copies until the migration completes), and
+writes land at the new owner and are mirrored to the source so fallback reads
+never serve a value older than the migration cut-over.
 """
 
 from __future__ import annotations
@@ -63,6 +70,8 @@ class Router:
         """
         now = self._sim.now
         group = self._cluster.group_for_key(namespace, key)
+        self._cluster.note_access(namespace, key, is_write=True)
+        migrations = self._cluster.migrations_for_key(namespace, key)
         primary = self._cluster.nodes[group.primary]
         self._ops["write"] += 1
         try:
@@ -82,6 +91,10 @@ class Router:
         try:
             service = primary.put(namespace, key, versioned, now)
         except NodeDownError:
+            fallback = self._migration_write_fallback(
+                migrations, group, namespace, key, versioned, now)
+            if fallback is not None:
+                return fallback
             self._ops["failed"] += 1
             return RequestResult(success=False, latency=client_hop, error="primary down",
                                  node_id=group.primary)
@@ -104,6 +117,7 @@ class Router:
         self._cluster.replication.propagate(
             group, namespace, key, versioned, delay_override=propagation_delay_override
         )
+        self._mirror_to_migration_sources(migrations, group, namespace, key, versioned)
         return RequestResult(success=True, latency=latency, value=versioned,
                              node_id=group.primary)
 
@@ -128,10 +142,19 @@ class Router:
         """
         now = self._sim.now
         group = self._cluster.group_for_key(namespace, key)
+        self._cluster.note_access(namespace, key, is_write=False)
         self._ops["read"] += 1
         if read_quorum > 1:
             return self._quorum_read(group, namespace, key, read_quorum, now)
         candidates = [group.primary] if from_primary else self._read_candidates(group)
+        # Dual-route: every migration source still holding in-flight copies
+        # backstops the new owner, newest cut-over first (chained migrations
+        # can leave several sources with copies of the same key).
+        for source in self._migration_source_groups(
+                self._cluster.migrations_for_key(namespace, key), group):
+            candidates = candidates + (
+                [source.primary] if from_primary else self._read_candidates(source)
+            )
         last_error = "no replica available"
         for node_id in candidates:
             node = self._cluster.nodes.get(node_id)
@@ -186,6 +209,13 @@ class Router:
                 contacted += 1
                 break
             if not served:
+                rows, hop_latency = self._range_migration_fallback(group, key_range,
+                                                                   now, limit, reverse)
+                if rows is not None:
+                    all_rows.extend(rows)
+                    total_latency = max(total_latency, hop_latency)
+                    contacted += 1
+                    continue
                 self._ops["failed"] += 1
                 return RequestResult(success=False, latency=total_latency,
                                      error=f"range unavailable in group {group.group_id}")
@@ -193,6 +223,113 @@ class Router:
         if limit is not None:
             all_rows = all_rows[:limit]
         return RequestResult(success=True, latency=total_latency, rows=all_rows)
+
+    # ------------------------------------------------- migration dual-routing
+
+    def _migration_source_groups(self, migrations, group: ReplicaGroup):
+        """Distinct live source groups still holding in-flight copies,
+        newest cut-over first, excluding the current owner."""
+        sources = []
+        seen = {group.group_id}
+        for record in reversed(migrations):
+            source = self._cluster.groups.get(record.source_group)
+            if source is None or source.group_id in seen:
+                continue
+            seen.add(source.group_id)
+            sources.append(source)
+        return sources
+
+    def _mirror_to_migration_sources(self, migrations, group: ReplicaGroup,
+                                     namespace: str, key: Key,
+                                     versioned: VersionedValue) -> None:
+        """Mirror an accepted write onto every migration source group.
+
+        Fallback reads served from a source during the in-flight window must
+        not miss writes accepted at the new owner; the mirror rides the
+        background replication path (no extra client latency).
+        """
+        for source in self._migration_source_groups(migrations, group):
+            for node_id in source.node_ids:
+                node = self._cluster.nodes.get(node_id)
+                if node is not None and node.alive:
+                    node.apply_replica_write(namespace, key, versioned)
+
+    def _migration_write_fallback(self, migrations, group: ReplicaGroup,
+                                  namespace: str, key: Key,
+                                  versioned: VersionedValue,
+                                  now: float) -> Optional[RequestResult]:
+        """Accept a write at a migration source when the new primary is down.
+
+        The value is also pushed to the target's surviving replicas (with a
+        retrying propagation for its downed nodes) so it is not lost when the
+        source copies are reclaimed at migration completion.
+        """
+        for source in self._migration_source_groups(migrations, group):
+            source_primary = self._cluster.nodes.get(source.primary)
+            if source_primary is None or not source_primary.alive:
+                continue
+            # The version computed against the down target primary is
+            # meaningless (peek saw nothing); re-derive it from the source,
+            # which holds the migrated copy, so version order is preserved
+            # for session guarantees and staleness checks.
+            current = self._safe_peek(source_primary, namespace, key)
+            if current is not None and current.version >= versioned.version:
+                versioned = VersionedValue(
+                    value=versioned.value,
+                    timestamp=versioned.timestamp,
+                    writer=versioned.writer,
+                    version=current.version + 1,
+                    tombstone=versioned.tombstone,
+                )
+            try:
+                hop = self._cluster.network.delay(CLIENT_ENDPOINT, source.primary)
+                service = source_primary.put(namespace, key, versioned, now)
+            except (NetworkPartitionError, NodeDownError):
+                continue
+            for node_id in group.node_ids:
+                node = self._cluster.nodes.get(node_id)
+                if node is not None and node.alive:
+                    node.apply_replica_write(namespace, key, versioned)
+                else:
+                    # A downed target node (often the primary that forced this
+                    # fallback) must still receive the write once it recovers,
+                    # or source reclamation at completion would lose it.
+                    self._cluster.replication.replicate_to(
+                        source.primary, node_id, namespace, key, versioned)
+            self._cluster.replication.propagate(source, namespace, key, versioned)
+            return RequestResult(success=True, latency=2.0 * hop + service,
+                                 value=versioned, node_id=source.primary)
+        return None
+
+    def _range_migration_fallback(self, group: ReplicaGroup, key_range: KeyRange,
+                                  now: float, limit: Optional[int],
+                                  reverse: bool):
+        """Serve a range from a migration source when the owning group cannot.
+
+        Only single-partition ranges (the SCADS query pattern) are eligible:
+        the source holds every key of an in-flight partition token, so its
+        answer for that token's prefix range is complete.
+        """
+        if key_range.start is None:
+            return None, 0.0
+        token = str(key_range.start[0])
+        for record in self._cluster.active_migrations():
+            if record.target_group != group.group_id or token not in record.tokens:
+                continue
+            source = self._cluster.groups.get(record.source_group)
+            if source is None:
+                continue
+            for node_id in self._read_candidates(source):
+                node = self._cluster.nodes.get(node_id)
+                if node is None or not node.alive:
+                    continue
+                try:
+                    hop = self._cluster.network.delay(CLIENT_ENDPOINT, node_id)
+                    rows, service = node.get_range(key_range, now, limit, reverse)
+                except (NetworkPartitionError, NodeDownError):
+                    continue
+                return rows, 2.0 * hop + service
+        return None, 0.0
 
     # ----------------------------------------------------------------- helpers
 
@@ -217,8 +354,14 @@ class Router:
                 success=False, latency=0.0,
                 error=f"read quorum {read_quorum} exceeds replication factor",
             )
+        # During an in-flight migration the source groups' copies count
+        # toward the quorum too — in-flight keys are dual-routed, not dropped.
+        node_ids = list(group.node_ids)
+        for source in self._migration_source_groups(
+                self._cluster.migrations_for_key(namespace, key), group):
+            node_ids.extend(source.node_ids)
         responses: List[Tuple[Optional[VersionedValue], float, str]] = []
-        for node_id in group.node_ids:
+        for node_id in node_ids:
             if len(responses) >= read_quorum:
                 break
             node = self._cluster.nodes.get(node_id)
@@ -245,9 +388,14 @@ class Router:
 
     @staticmethod
     def _safe_peek(node, namespace: str, key: Key):
-        """Primary-side peek at the current version without failing the write path."""
+        """Primary-side peek at the current version without failing the write path.
+
+        Tombstones are included so that re-creating a deleted key assigns a
+        version strictly greater than the tombstone's and wins last-write-wins
+        ties against it on every replica.
+        """
         try:
-            return node.peek(namespace, key)
+            return node.peek(namespace, key, include_tombstones=True)
         except NodeDownError:
             return None
 

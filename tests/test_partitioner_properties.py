@@ -1,0 +1,180 @@
+"""Property-based invariants for both partitioners under topology churn.
+
+The paper's bounded-lookup guarantee ("at most one read from a small constant
+number of computers") rests on two routing invariants that must survive any
+sequence of topology changes — add/remove group, split/merge/reassign (range)
+and weight shifts (hash):
+
+1. every key routes to exactly one currently-registered replica group, and
+2. every single-partition prefix range lands on exactly the group that owns
+   its keys, so a range read never fans out.
+
+These suites drive arbitrary operation sequences (invalid operations are
+expected to raise ``PartitionerError`` and change nothing) and then check the
+invariants over a fixed token population.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.storage.partitioner import (
+    ConsistentHashPartitioner,
+    PartitionerError,
+    RangePartitioner,
+)
+from repro.storage.records import KeyRange, prefix_range
+
+pytestmark = [pytest.mark.tier1, pytest.mark.property]
+
+TOKENS = [f"u{i:03d}" for i in range(60)]
+GROUPS = [f"g{i}" for i in range(6)]
+
+range_op = st.one_of(
+    st.tuples(st.just("add"), st.sampled_from(GROUPS)),
+    st.tuples(st.just("remove"), st.sampled_from(GROUPS)),
+    st.tuples(st.just("split"), st.sampled_from(TOKENS)),
+    st.tuples(st.just("merge"), st.sampled_from(TOKENS)),
+    st.tuples(st.just("reassign"), st.sampled_from(TOKENS), st.sampled_from(GROUPS)),
+)
+
+hash_op = st.one_of(
+    st.tuples(st.just("add"), st.sampled_from(GROUPS)),
+    st.tuples(st.just("remove"), st.sampled_from(GROUPS)),
+    st.tuples(st.just("weight"), st.sampled_from(GROUPS),
+              st.floats(min_value=0.25, max_value=3.0)),
+)
+
+
+def apply_range_op(partitioner: RangePartitioner, operation) -> None:
+    kind = operation[0]
+    try:
+        if kind == "add":
+            partitioner.add_group(operation[1])
+        elif kind == "remove":
+            partitioner.remove_group(operation[1])
+        elif kind == "split":
+            partitioner.split_at(operation[1])
+        elif kind == "merge":
+            info = partitioner.partition_for_token(operation[1])
+            if info.upper is not None:
+                partitioner.merge_at(info.index)
+        else:
+            info = partitioner.partition_for_token(operation[1])
+            partitioner.reassign(info.index, operation[2])
+    except PartitionerError:
+        pass  # invalid transitions must raise, not corrupt state
+
+
+def check_routing_invariants(partitioner) -> None:
+    groups = set(partitioner.groups())
+    assert groups, "a partitioner must always have at least one group"
+    for token in TOKENS:
+        owner = partitioner.group_for_token(token)
+        assert owner in groups
+        key_range = prefix_range("ns", (token,))
+        range_owners = partitioner.groups_for_range(key_range)
+        assert range_owners == [owner], (
+            f"prefix range for {token!r} must land on exactly its owner"
+        )
+
+
+class TestRangePartitionerProperties:
+    @given(operations=st.lists(range_op, min_size=0, max_size=40))
+    def test_every_key_routes_to_exactly_one_registered_group(self, operations):
+        partitioner = RangePartitioner(["g0"])
+        for operation in operations:
+            apply_range_op(partitioner, operation)
+        check_routing_invariants(partitioner)
+
+    @given(operations=st.lists(range_op, min_size=0, max_size=40))
+    def test_partition_table_stays_well_formed(self, operations):
+        partitioner = RangePartitioner(["g0"])
+        for operation in operations:
+            apply_range_op(partitioner, operation)
+        partitions = partitioner.partitions()
+        lowers = [p.lower for p in partitions]
+        assert lowers[0] == ""
+        assert lowers == sorted(lowers)
+        assert len(set(lowers)) == len(lowers), "split points must be unique"
+        groups = set(partitioner.groups())
+        for left, right in zip(partitions, partitions[1:]):
+            assert left.upper == right.lower, "partitions must tile the space"
+        assert partitions[-1].upper is None
+        for partition in partitions:
+            assert partition.owner in groups
+            # partition_for_token agrees with the table
+            assert partitioner.partition_for_token(partition.lower) == partition
+
+    @given(operations=st.lists(range_op, min_size=0, max_size=40),
+           start=st.sampled_from(TOKENS), end=st.sampled_from(TOKENS))
+    def test_multi_partition_range_covers_every_contained_key(
+            self, operations, start, end):
+        if start > end:
+            start, end = end, start
+        partitioner = RangePartitioner(["g0"])
+        for operation in operations:
+            apply_range_op(partitioner, operation)
+        key_range = KeyRange(namespace="ns", start=(start,), end=(end, "\x00"))
+        owners = set(partitioner.groups_for_range(key_range))
+        for token in TOKENS:
+            if start <= token <= end:
+                assert partitioner.group_for_token(token) in owners
+
+
+class TestConsistentHashPartitionerProperties:
+    @given(operations=st.lists(hash_op, min_size=0, max_size=30))
+    def test_every_key_routes_to_exactly_one_registered_group(self, operations):
+        partitioner = ConsistentHashPartitioner(["g0"], virtual_nodes=16)
+        for operation in operations:
+            kind = operation[0]
+            try:
+                if kind == "add":
+                    partitioner.add_group(operation[1])
+                elif kind == "remove":
+                    partitioner.remove_group(operation[1])
+                else:
+                    partitioner.set_weight(operation[1], operation[2])
+            except PartitionerError:
+                pass
+        check_routing_invariants(partitioner)
+
+    @given(operations=st.lists(hash_op, min_size=0, max_size=30))
+    def test_routing_is_a_pure_function_of_the_operation_history(self, operations):
+        def build():
+            partitioner = ConsistentHashPartitioner(["g0"], virtual_nodes=16)
+            for operation in operations:
+                kind = operation[0]
+                try:
+                    if kind == "add":
+                        partitioner.add_group(operation[1])
+                    elif kind == "remove":
+                        partitioner.remove_group(operation[1])
+                    else:
+                        partitioner.set_weight(operation[1], operation[2])
+                except PartitionerError:
+                    pass
+            return partitioner
+
+        first, second = build(), build()
+        for token in TOKENS:
+            assert first.group_for_token(token) == second.group_for_token(token)
+
+    @given(weight=st.floats(min_value=0.25, max_value=4.0))
+    def test_weight_shift_is_reversible_and_incremental(self, weight):
+        partitioner = ConsistentHashPartitioner(["g0", "g1", "g2"], virtual_nodes=32)
+        before = {token: partitioner.group_for_token(token) for token in TOKENS}
+        partitioner.set_weight("g1", weight)
+        moved = [token for token in TOKENS
+                 if partitioner.group_for_token(token) != before[token]]
+        if weight < 1.0:
+            # Shrinking g1 only moves keys off g1.
+            assert all(before[token] == "g1" for token in moved)
+        elif weight > 1.0:
+            # Growing g1 only moves keys onto g1.
+            assert all(partitioner.group_for_token(token) == "g1" for token in moved)
+        partitioner.set_weight("g1", 1.0)
+        after = {token: partitioner.group_for_token(token) for token in TOKENS}
+        assert after == before

@@ -16,6 +16,8 @@ from hypothesis import strategies as st
 from repro import Scads
 from repro.core.schema import EntitySchema, Field
 
+pytestmark = [pytest.mark.tier1, pytest.mark.property]
+
 USERS = [f"u{i}" for i in range(6)]
 BIRTHDAYS = ["01-05", "03-14", "07-04", "11-30"]
 
