@@ -1,12 +1,15 @@
 # Test tiers (see conftest.py):
-#   make test      - tier-1: fast correctness suite (what CI gates on)
-#   make test-all  - everything, including slow-marked tests
-#   make property  - hypothesis property suites at the thorough profile
-#   make bench     - the paper's experiment benchmarks (E1..E13, figures)
+#   make test        - tier-1: fast correctness suite (what CI gates on)
+#   make test-all    - everything, including slow-marked tests
+#   make property    - hypothesis property suites at the thorough profile
+#   make bench       - the paper's experiment benchmarks (E1..E14, figures)
+#   make bench-smoke - every benchmark in fast smoke mode (BENCH_SMOKE=1:
+#                      shortened workloads, relative-economics assertions
+#                      skipped) — a cheap crash/regression sweep
 
 PYTEST := python -m pytest
 
-.PHONY: test test-all property bench
+.PHONY: test test-all property bench bench-smoke
 
 test:
 	$(PYTEST) -x -q
@@ -17,5 +20,10 @@ test-all:
 property:
 	sh scripts/run_property_suite.sh
 
+# bench_*.py does not match pytest's default test_*.py collection pattern, so
+# the files are passed explicitly (a bare directory collects nothing).
 bench:
-	$(PYTEST) benchmarks/ -q -s
+	$(PYTEST) benchmarks/bench_*.py -q -s
+
+bench-smoke:
+	BENCH_SMOKE=1 $(PYTEST) benchmarks/bench_*.py -q -s

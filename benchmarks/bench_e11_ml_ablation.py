@@ -9,12 +9,13 @@ attainment, peak capacity, and cost.
 
 from __future__ import annotations
 
-from repro.experiments.harness import run_closed_loop
+from repro.experiments.harness import run_closed_loop, smoke_mode, smoke_scaled
 from repro.workloads.traces import AnimotoViralTrace
 
+_SCALE = smoke_scaled(1.0, 0.1)  # BENCH_SMOKE compresses the whole timeline
 TRACE = AnimotoViralTrace(start_rate=15.0, peak_multiplier=14.0,
-                          ramp_start=240.0, ramp_duration=1500.0)
-DURATION = 2100.0
+                          ramp_start=240.0 * _SCALE, ramp_duration=1500.0 * _SCALE)
+DURATION = 2100.0 * _SCALE
 
 
 def run_experiment():
@@ -48,6 +49,8 @@ def test_e11_predictive_vs_reactive_vs_static(benchmark, table_printer):
     )
     # Any scaling beats none; the forecast keeps attainment at least as good
     # as reacting after the fact.
+    if smoke_mode():
+        return  # smoke sweeps check the loop runs; the ablation needs full time
     assert (predictive.read_report.observed_percentile_latency
             < static.read_report.observed_percentile_latency)
     assert (predictive.read_report.observed_fraction_within

@@ -26,13 +26,18 @@ import numpy as np
 
 from repro.core.engine import Scads
 from repro.core.schema import EntitySchema, Field
-from repro.experiments.harness import SCALED_DOWN_INSTANCE, default_spec
+from repro.experiments.harness import (
+    SCALED_DOWN_INSTANCE,
+    default_spec,
+    smoke_mode,
+    smoke_scaled,
+)
 
 N_USERS = 240
 ZIPF_S = 1.15           # rank-frequency exponent; rank 1 is ~20% of traffic
 RATE = 150.0            # offered ops/sec (90% reads, 10% writes)
 WRITE_FRACTION = 0.1
-DURATION = 1200.0
+DURATION = smoke_scaled(1200.0, 120.0)
 CONTROL_INTERVAL = 30.0
 FINAL_WINDOWS = 5       # SLA must hold in a majority of the last windows
 
@@ -141,6 +146,8 @@ def test_e13_split_migrate_beats_add_group(benchmark, table_printer):
     print(f"\nsplit+migrate moved {moved_ratio:.1f}x fewer keys and billed "
           f"{cost_ratio:.1f}x fewer dollars than renting groups")
 
+    if smoke_mode():
+        return  # smoke sweeps check the loop runs; the economics need full time
     assert with_rebalancer.controller.repartition_count() >= 1
     assert sla_reattained(with_rebalancer)
     assert sla_reattained(add_group_only)

@@ -1,0 +1,149 @@
+"""E14 — staleness-budget cache tier: latency and dollars from declared slack.
+
+The paper's central bet is that *declarative* performance/consistency
+tradeoffs let the system exploit slack the application explicitly granted.
+The cache tier is the canonical payoff: a spec saying "stale data gone within
+10 seconds" makes a seconds-old cached answer exactly as correct as a cluster
+read, so entity gets that hit the front tier skip the cluster entirely — and
+the provisioning loop, which discounts forecast demand by the measured hit
+rate, skips *renting* for that load too.
+
+A Zipf read-heavy workload (the social-network shape: a few celebrities take
+most of the reads) drives two identically-seeded systems, cache on vs. off.
+The cached system must cut both the p99 read latency and the instance dollars,
+while an oracle staleness probe — every read is checked against an externally
+maintained write history — observes **zero** reads served beyond the declared
+bound.  The cache defaults to off, so E1–E13 measure the uncached system.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cache.tier import CacheConfig
+from repro.core.consistency.spec import (
+    ConsistencySpec,
+    PerformanceSLA,
+    ReadConsistency,
+)
+from repro.core.engine import Scads
+from repro.core.schema import EntitySchema, Field
+from repro.experiments.harness import SCALED_DOWN_INSTANCE, smoke_mode, smoke_scaled
+
+N_USERS = 200
+ZIPF_S = 1.1            # rank-frequency exponent of the celebrity skew
+RATE = 300.0            # offered ops/sec
+WRITE_FRACTION = 0.05   # read-heavy, per the workload the cache targets
+STALENESS_BOUND = 10.0  # the declared slack the cache converts into hits
+DURATION = smoke_scaled(900.0, 60.0)
+CONTROL_INTERVAL = 30.0
+
+
+def run_system(cache: bool, seed: int = 5):
+    """One closed-loop run; returns (engine, observed staleness violations)."""
+    spec = ConsistencySpec(
+        performance=PerformanceSLA(percentile=99.0, latency=0.250),
+        read=ReadConsistency(staleness_bound=STALENESS_BOUND),
+    )
+    engine = Scads(
+        seed=seed,
+        consistency=spec,
+        instance_type=SCALED_DOWN_INSTANCE,
+        replication_factor=3,
+        initial_groups=2,
+        min_groups=2,
+        autoscale=True,
+        predictive_scaling=False,   # isolate the cache-vs-rent economics
+        control_interval=CONTROL_INTERVAL,
+        max_instances=24,
+        cache=CacheConfig(capacity=4 * N_USERS) if cache else None,
+    )
+    engine.register_entity(EntitySchema(
+        "profiles", key_fields=[Field("user_id")], value_fields=[Field("bio")],
+    ))
+    users = [f"u{i:03d}" for i in range(N_USERS)]
+    sequence = {user: 0 for user in users}
+    history = {user: [] for user in users}  # per user: [(seq, commit time)]
+    for user in users:
+        sequence[user] += 1
+        engine.put("profiles", {"user_id": user, "bio": f"seq{sequence[user]:06d}"})
+        history[user].append((sequence[user], engine.now))
+    engine.settle(5.0)
+
+    ranks = np.arange(1, N_USERS + 1)
+    probabilities = 1.0 / ranks ** ZIPF_S
+    probabilities /= probabilities.sum()
+    rng = engine.sim.random.get("bench-e14")
+    violations = []
+
+    def issue() -> None:
+        user = users[int(rng.choice(N_USERS, p=probabilities))]
+        if rng.random() < WRITE_FRACTION:
+            sequence[user] += 1
+            outcome = engine.put("profiles", {
+                "user_id": user, "bio": f"seq{sequence[user]:06d}",
+            })
+            if outcome.success:
+                history[user].append((sequence[user], engine.now))
+        else:
+            outcome = engine.get("profiles", (user,))
+            # Oracle probe: a read returning sequence s while some s' > s has
+            # been committed for longer than the bound violates the spec —
+            # regardless of which tier served it.
+            if outcome.success and outcome.row is not None:
+                seen = int(outcome.row["bio"][3:])
+                for seq, committed_at in history[user]:
+                    if seq > seen and engine.now - committed_at > STALENESS_BOUND + 1e-6:
+                        violations.append((user, seen, seq, engine.now - committed_at))
+        engine.sim.schedule(float(rng.exponential(1.0 / RATE)), issue, name="zipf-load")
+
+    engine.start()
+    engine.sim.schedule(0.0, issue, name="zipf-load")
+    engine.run_for(DURATION)
+    return engine, violations
+
+
+def run_experiment():
+    return run_system(cache=True), run_system(cache=False)
+
+
+def test_e14_cache_tier_cuts_p99_and_dollars_within_the_bound(benchmark, table_printer):
+    (cached, cached_violations), (uncached, uncached_violations) = \
+        benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    rows = []
+    for label, engine, violations in (
+        ("staleness-budget cache", cached, cached_violations),
+        ("cache off (seed behaviour)", uncached, uncached_violations),
+    ):
+        reads = engine.latencies.all_time("read")
+        rows.append((
+            label,
+            f"{engine.cache_hit_rate():.1%}",
+            f"{reads.percentile(50) * 1000:.2f}",
+            f"{reads.percentile(99) * 1000:.2f}",
+            engine.controller.scale_up_count(),
+            engine.cluster.group_count(),
+            f"{engine.cost_so_far():.2f}",
+            len(violations),
+        ))
+    table_printer(
+        "E14 — Zipf read-heavy: cache tier vs. full-cluster reads "
+        f"(declared bound {STALENESS_BOUND:.0f}s)",
+        ["system", "hit rate", "p50 ms", "p99 ms", "scale-ups",
+         "final groups", "dollars", "staleness violations"],
+        rows,
+    )
+    cached_p99 = cached.latencies.all_time("read").percentile(99)
+    uncached_p99 = uncached.latencies.all_time("read").percentile(99)
+    print(f"\ncache tier: p99 {uncached_p99 * 1000:.1f}ms -> "
+          f"{cached_p99 * 1000:.1f}ms, dollars {uncached.cost_so_far():.2f} -> "
+          f"{cached.cost_so_far():.2f} "
+          f"at {cached.cache_hit_rate():.0%} hit rate")
+
+    assert cached_violations == [], \
+        "no cached read may ever exceed its declared staleness bound"
+    if smoke_mode():
+        return
+    assert cached.cache_hit_rate() > 0.5
+    assert cached_p99 < uncached_p99
+    assert cached.cost_so_far() < uncached.cost_so_far()

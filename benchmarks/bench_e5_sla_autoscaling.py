@@ -10,14 +10,16 @@ sized for the baseline.
 
 from __future__ import annotations
 
-from repro.experiments.harness import run_closed_loop
+from repro.experiments.harness import run_closed_loop, smoke_mode, smoke_scaled
 from repro.workloads.traces import HalloweenSpikeTrace
 
+_SCALE = smoke_scaled(1.0, 0.1)  # BENCH_SMOKE compresses the whole timeline
 TRACE = HalloweenSpikeTrace(
     base_rate=15.0, spike_multiplier=5.0,
-    spike_start=600.0, rise_duration=180.0, hold_duration=900.0, decay_duration=600.0,
+    spike_start=600.0 * _SCALE, rise_duration=180.0 * _SCALE,
+    hold_duration=900.0 * _SCALE, decay_duration=600.0 * _SCALE,
 )
-DURATION = 3000.0
+DURATION = 3000.0 * _SCALE
 
 
 def run_experiment():
@@ -44,6 +46,8 @@ def test_e5_sla_autoscaling_through_spike(benchmark, table_printer):
          "99th pct write (ms)", "maintenance deadline miss rate", "dollars"],
         rows,
     )
+    if smoke_mode():
+        return  # smoke sweeps check the loop runs; the economics need full time
     assert autoscaled.scale_ups >= 1
     assert (autoscaled.read_report.observed_percentile_latency
             < static.read_report.observed_percentile_latency)

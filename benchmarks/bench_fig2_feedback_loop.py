@@ -9,11 +9,13 @@ SLA attainment through the daily peak and lower cost through the trough.
 
 from __future__ import annotations
 
-from repro.experiments.harness import run_closed_loop
+from repro.experiments.harness import run_closed_loop, smoke_mode, smoke_scaled
 from repro.workloads.traces import DiurnalTrace
 
-TRACE = DiurnalTrace(base_rate=8.0, peak_rate=90.0, peak_hour=0.4, period_hours=1.0)
-DURATION = 3600.0  # one compressed "day" (one-hour period)
+_SCALE = smoke_scaled(1.0, 0.1)  # BENCH_SMOKE compresses the whole timeline
+TRACE = DiurnalTrace(base_rate=8.0, peak_rate=90.0, peak_hour=0.4 * _SCALE,
+                     period_hours=1.0 * _SCALE)
+DURATION = 3600.0 * _SCALE  # one compressed "day" (one-hour period)
 
 
 def run_experiment():
@@ -46,6 +48,8 @@ def test_fig2_feedback_loop(benchmark, table_printer):
     )
     # The loop reacts (scales up for the peak) and the open loop's tail
     # latency is worse because the fixed capacity saturates at the peak.
+    if smoke_mode():
+        return  # smoke sweeps check the loop runs; the loop claims need full time
     assert closed.scale_ups >= 1
     assert (closed.read_report.observed_percentile_latency
             <= open_loop.read_report.observed_percentile_latency)

@@ -8,6 +8,10 @@ The package is organised as a set of substrates (``sim``, ``storage``,
 """
 
 from repro.core.engine import Scads
+# Imported after the engine: the cache package reaches back into
+# repro.core.consistency, so letting the engine import complete first keeps
+# the (benign) cycle one-directional at import time.
+from repro.cache.tier import CacheConfig
 from repro.core.schema import EntitySchema, Field, FieldType, Relationship
 from repro.core.consistency import (
     ConsistencySpec,
@@ -22,6 +26,7 @@ __version__ = "0.1.0"
 
 __all__ = [
     "Scads",
+    "CacheConfig",
     "EntitySchema",
     "Field",
     "FieldType",

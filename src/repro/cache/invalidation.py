@@ -1,0 +1,46 @@
+"""Write-through invalidation: the cache's view of the engine's write paths.
+
+Two kinds of writes can make a cached answer wrong, and both are wired here:
+
+* **entity writes** (``Scads.put`` / ``Scads.delete``) — drop the written
+  key's entity entry immediately, plus any cached *entity-namespace* range
+  read covering the key;
+* **index writes** — when the asynchronous index updater applies maintenance
+  it rewrites index/reverse-index entries through the engine's storage
+  adapter; each such write drops the cached query scans whose
+  :class:`~repro.storage.records.KeyRange` contains the written index key.
+
+The split matters for the staleness contract: a cached query scan keeps
+serving the *pre-write* rows between the base write and the moment its index
+maintenance is applied — which is precisely the asynchrony the declared
+staleness bound already permits (the updater's deadline is that bound), and
+the TTL derived in :mod:`repro.cache.policy` caps the exposure independently.
+"""
+
+from __future__ import annotations
+
+from repro.cache.store import StalenessBudgetCache
+from repro.storage.records import Key
+
+
+class WriteThroughInvalidator:
+    """Routes write notifications from the engine into cache invalidations."""
+
+    def __init__(self, store: StalenessBudgetCache) -> None:
+        self._store = store
+        self.entity_invalidations = 0
+        self.index_invalidations = 0
+
+    def note_entity_write(self, namespace: str, key: Key) -> int:
+        """An entity row was written or deleted; drop everything it could
+        have served: its entity entry and covering cached ranges."""
+        dropped = self._store.invalidate_key(namespace, key)
+        self.entity_invalidations += dropped
+        return dropped
+
+    def note_index_write(self, namespace: str, key: Key) -> int:
+        """An index (or reverse-index) entry was applied by the asynchronous
+        updater; drop the cached scans whose range covers it."""
+        dropped = self._store.invalidate_key(namespace, key)
+        self.index_invalidations += dropped
+        return dropped

@@ -1,0 +1,242 @@
+"""Capacity-bounded cache store with LRU and TTL eviction.
+
+The store holds two kinds of entries in one LRU order:
+
+* **entity entries** — one :class:`~repro.storage.records.VersionedValue`
+  (or a negative result) under its ``(namespace, key)``;
+* **range entries** — the materialised rows of one bounded contiguous range
+  read (a compiled query's index scan), remembered together with the
+  :class:`~repro.storage.records.KeyRange` they cover so a point write can
+  invalidate exactly the cached scans whose range contains the written key.
+
+Every entry carries an absolute expiry time derived by the admission policy
+from the governing staleness bound (see :mod:`repro.cache.policy`); expired
+entries are treated as misses and reclaimed lazily.  Capacity is measured in
+*rows* (a range entry costs as many units as it holds rows) so a handful of
+wide scans cannot silently dwarf thousands of entity entries.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, Optional, Set, Tuple
+
+from repro.storage.records import Key, KeyRange
+
+EntryToken = Tuple[Hashable, ...]
+
+
+@dataclass
+class CacheStats:
+    """Counters the hit-rate feature and the benchmarks report from."""
+
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    ttl_expirations: int = 0
+    lru_evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0 when idle)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+@dataclass
+class CacheEntry:
+    """One cached result plus the metadata its freshness contract needs."""
+
+    token: EntryToken
+    namespace: str
+    value: Any
+    inserted_at: float
+    expires_at: float
+    key: Optional[Key] = None
+    key_range: Optional[KeyRange] = None
+    cost: int = 1
+
+    def expired(self, now: float) -> bool:
+        return now >= self.expires_at
+
+    def remaining_ttl(self, now: float) -> float:
+        return max(self.expires_at - now, 0.0)
+
+
+def entity_token(namespace: str, key: Key) -> EntryToken:
+    """Stable store token for an entity entry."""
+    return ("entity", namespace, key)
+
+
+def range_token(namespace: str, start: Optional[Key], end: Optional[Key],
+                limit: Optional[int], reverse: bool) -> EntryToken:
+    """Stable store token for one bounded range read's parameters."""
+    return ("range", namespace, start, end, limit, reverse)
+
+
+class StalenessBudgetCache:
+    """An LRU + TTL cache over entity and range-read results.
+
+    Args:
+        capacity: maximum total cost (rows) held; least-recently-used entries
+            are evicted past it.  Entity entries cost 1, range entries cost
+            ``max(1, len(rows))``.
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[EntryToken, CacheEntry]" = OrderedDict()
+        self._ranges_by_namespace: Dict[str, Set[EntryToken]] = {}
+        self._cost_total = 0
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def cost_total(self) -> int:
+        """Current total cost (rows) of everything held."""
+        return self._cost_total
+
+    # ------------------------------------------------------------------ lookups
+
+    def get(self, token: EntryToken, now: float) -> Optional[CacheEntry]:
+        """Return the live entry under ``token``, or None (counted as a miss).
+
+        A hit refreshes the entry's LRU position; an expired entry is
+        reclaimed and reported as a miss.
+        """
+        entry = self._entries.get(token)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        if entry.expired(now):
+            self._remove(token)
+            self.stats.ttl_expirations += 1
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(token)
+        self.stats.hits += 1
+        return entry
+
+    def peek(self, token: EntryToken) -> Optional[CacheEntry]:
+        """The entry under ``token`` regardless of expiry, without counting
+        a lookup or touching LRU order (tests and introspection)."""
+        return self._entries.get(token)
+
+    # --------------------------------------------------------------- admission
+
+    def put_entity(self, namespace: str, key: Key, value: Any,
+                   now: float, ttl: float) -> Optional[CacheEntry]:
+        """Admit one entity read result; returns the entry, or None when the
+        derived TTL grants no servable window."""
+        if ttl <= 0:
+            return None
+        entry = CacheEntry(
+            token=entity_token(namespace, key),
+            namespace=namespace,
+            value=value,
+            inserted_at=now,
+            expires_at=now + ttl,
+            key=key,
+            cost=1,
+        )
+        self._insert(entry)
+        return entry
+
+    def put_range(self, namespace: str, start: Optional[Key], end: Optional[Key],
+                  limit: Optional[int], reverse: bool, rows: Any,
+                  now: float, ttl: float) -> Optional[CacheEntry]:
+        """Admit one bounded range read's rows under its exact parameters."""
+        if ttl <= 0:
+            return None
+        cost = max(1, len(rows))
+        if cost > self.capacity:
+            return None  # a scan wider than the whole cache is not admissible
+        entry = CacheEntry(
+            token=range_token(namespace, start, end, limit, reverse),
+            namespace=namespace,
+            value=rows,
+            inserted_at=now,
+            expires_at=now + ttl,
+            key_range=KeyRange(namespace=namespace, start=start, end=end),
+            cost=cost,
+        )
+        self._insert(entry)
+        return entry
+
+    def _insert(self, entry: CacheEntry) -> None:
+        if entry.token in self._entries:
+            self._remove(entry.token)
+        self._entries[entry.token] = entry
+        self._cost_total += entry.cost
+        if entry.key_range is not None:
+            self._ranges_by_namespace.setdefault(entry.namespace, set()).add(entry.token)
+        self.stats.insertions += 1
+        while self._cost_total > self.capacity and self._entries:
+            victim_token = next(iter(self._entries))
+            if victim_token == entry.token and len(self._entries) == 1:
+                break  # never evict the sole, just-inserted entry
+            self._remove(victim_token)
+            self.stats.lru_evictions += 1
+
+    # ------------------------------------------------------------- invalidation
+
+    def invalidate_key(self, namespace: str, key: Key) -> int:
+        """Drop the entity entry for ``key`` and every cached range read in
+        the same namespace whose range contains ``key``.
+
+        This is the write-through hook: called for the written key on entity
+        writes, and for the written *index* key when the asynchronous updater
+        applies index maintenance (so cached query scans covering the changed
+        index region are dropped too).  Returns the number of entries dropped.
+        """
+        dropped = 0
+        token = entity_token(namespace, key)
+        if token in self._entries:
+            self._remove(token)
+            dropped += 1
+        for rtoken in list(self._ranges_by_namespace.get(namespace, ())):
+            entry = self._entries.get(rtoken)
+            if entry is None or entry.key_range is None:
+                continue
+            if entry.key_range.contains(key):
+                self._remove(rtoken)
+                dropped += 1
+        self.stats.invalidations += dropped
+        return dropped
+
+    def invalidate_namespace(self, namespace: str) -> int:
+        """Drop every entry (entity and range) in one namespace."""
+        doomed = [token for token, entry in self._entries.items()
+                  if entry.namespace == namespace]
+        for token in doomed:
+            self._remove(token)
+        self.stats.invalidations += len(doomed)
+        return len(doomed)
+
+    def clear(self) -> None:
+        """Drop everything (stats are preserved)."""
+        self._entries.clear()
+        self._ranges_by_namespace.clear()
+        self._cost_total = 0
+
+    # ----------------------------------------------------------------- internal
+
+    def _remove(self, token: EntryToken) -> None:
+        entry = self._entries.pop(token, None)
+        if entry is None:
+            return
+        self._cost_total -= entry.cost
+        if entry.key_range is not None:
+            tokens = self._ranges_by_namespace.get(entry.namespace)
+            if tokens is not None:
+                tokens.discard(token)
+                if not tokens:
+                    del self._ranges_by_namespace[entry.namespace]

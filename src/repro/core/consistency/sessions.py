@@ -45,23 +45,29 @@ class Session:
 
     # -------------------------------------------------------------------- reads
 
-    def acceptable(self, namespace: str, key: Key, value: Optional[VersionedValue]) -> bool:
+    def acceptable(self, namespace: str, key: Key, value: Optional[VersionedValue],
+                   count: bool = True) -> bool:
         """Is a replica-read result consistent with this session's history?
 
         A missing value (None) is unacceptable if the session wrote the key or
         has previously seen it — the replica simply has not caught up.
+        ``count=False`` asks without recording a fallback, for callers (the
+        cache tier's bypass policy) that probe acceptability before the
+        cluster read path runs the real, counted check.
         """
         identity = (namespace, key)
         observed_version = value.version if value is not None else 0
         if self.guarantee.read_your_writes:
             written = self._last_written_version.get(identity, 0)
             if observed_version < written:
-                self.stats.ryw_fallbacks += 1
+                if count:
+                    self.stats.ryw_fallbacks += 1
                 return False
         if self.guarantee.monotonic_reads:
             seen = self._last_seen_version.get(identity, 0)
             if observed_version < seen:
-                self.stats.monotonic_fallbacks += 1
+                if count:
+                    self.stats.monotonic_fallbacks += 1
                 return False
         return True
 

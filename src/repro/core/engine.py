@@ -19,6 +19,28 @@ Internally the engine wires together every substrate in the repository:
   attainment and rents/releases utility-computing instances
   (:mod:`repro.cloud`) to keep the SLAs met at minimum cost.
 
+Staleness-budget cache tier
+---------------------------
+
+The declarative :class:`~repro.core.consistency.spec.ReadConsistency` bound
+is not just something reads are *checked* against — it is slack the
+application has explicitly granted, and ``Scads(cache=...)`` exploits it with
+a front-tier read-through cache (:mod:`repro.cache`).  Entity gets and
+compiled-query range reads that hit the cache bypass the cluster entirely and
+pay a sub-millisecond front-tier service time; entries are admitted with a
+TTL derived from the bound ("stale data gone within B seconds" → servable for
+``B`` minus propagation headroom, minus any staleness the value already
+carried when it was read), entity writes invalidate the written key and any
+cached scan covering it, and the asynchronous index updater invalidates the
+cached query scans its maintenance touches.  Session guarantees outrank the
+budget: a read-your-writes session that wrote a key bypasses the cache for it
+until the cached copy has caught up.  The provisioning loop sees the cache:
+the :class:`~repro.core.provisioning.monitor.SLAMonitor` measures the window
+hit rate and the :class:`~repro.core.provisioning.planner.CapacityPlanner`
+discounts forecast demand by the absorbed fraction, so the controller does
+not rent replica groups for load the cache is already serving.  The knob
+defaults to off, preserving the uncached behaviour of E1–E13.
+
 Elasticity & repartitioning
 ---------------------------
 
@@ -41,8 +63,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple, Union
 
+from repro.cache.tier import CacheConfig, CacheTier
 from repro.cloud.instances import INSTANCE_TYPES, InstanceType
 from repro.cloud.pool import InstancePool
 from repro.core.consistency.arbitration import Arbitrator
@@ -139,12 +162,15 @@ class _RouterStorageAdapter:
         else:
             self._engine.router.write(namespace, key, {"support": new_support},
                                       writer="index-maintenance")
+        self._engine._note_index_write(namespace, key)
 
     def put_reverse_entry(self, namespace: str, key: Key) -> None:
         self._engine.router.write(namespace, key, {}, writer="index-maintenance")
+        self._engine._note_index_write(namespace, key)
 
     def delete_reverse_entry(self, namespace: str, key: Key) -> None:
         self._engine.router.delete(namespace, key, writer="index-maintenance")
+        self._engine._note_index_write(namespace, key)
 
 
 class Scads:
@@ -172,6 +198,11 @@ class Scads:
             docstring's "Elasticity & repartitioning" section).
         repartition_hot_utilisation / repartition_cold_utilisation: group
             utilisation thresholds that define a migratable imbalance.
+        cache: attach the staleness-budget cache tier (see the module
+            docstring's "Staleness-budget cache tier" section).  ``True``
+            uses :class:`~repro.cache.tier.CacheConfig` defaults; pass a
+            config to size the cache or tune the propagation headroom.
+            Defaults to off (every read pays full cluster latency).
     """
 
     def __init__(
@@ -195,6 +226,7 @@ class Scads:
         repartition: bool = False,
         repartition_hot_utilisation: float = 0.75,
         repartition_cold_utilisation: float = 0.5,
+        cache: Union[None, bool, CacheConfig] = None,
     ) -> None:
         self.spec = consistency or ConsistencySpec()
         self.sim = Simulator(seed=seed)
@@ -223,6 +255,10 @@ class Scads:
                 cooldown=2.0 * control_interval,
             )
         self.router = Router(self.cluster)
+        self.cache: Optional[CacheTier] = None
+        if cache:
+            cache_config = cache if isinstance(cache, CacheConfig) else CacheConfig()
+            self.cache = CacheTier(cache_config, spec=self.spec, simulator=self.sim)
         self.pool = InstancePool(self.sim, instance_type=instance_type,
                                  max_instances=max_instances)
         self.registry = SchemaRegistry()
@@ -282,6 +318,10 @@ class Scads:
             # With the rebalancer active, hotspot windows must not teach the
             # capacity model that nodes never help (see SLAMonitor._train).
             exclude_hotspot_training=repartition,
+            # The rebalancer's decayed token sketch is a steadier rate signal
+            # than per-node interarrival EWMAs (see rate_estimate()); use it
+            # for the mean-utilisation feature when it is being fed.
+            rate_tracker=self.rebalancer.tracker if self.rebalancer is not None else None,
         )
         self.planner = CapacityPlanner(
             latency_model=self.latency_model,
@@ -415,6 +455,8 @@ class Scads:
         self._record_op("write", result.latency, result.success)
         if not result.success:
             return OperationOutcome(success=False, latency=result.latency, error=result.error)
+        if self.cache is not None:
+            self.cache.note_entity_write(namespace, key)
         self.updater.enqueue(
             EntityWrite(entity=entity, old_row=old_row, new_row=resolved),
             staleness_bound=self.spec.read.staleness_bound,
@@ -433,6 +475,8 @@ class Scads:
         self._record_op("write", result.latency, result.success)
         if not result.success:
             return OperationOutcome(success=False, latency=result.latency, error=result.error)
+        if self.cache is not None:
+            self.cache.note_entity_write(namespace, key)
         if old_row is not None:
             self.updater.enqueue(
                 EntityWrite(entity=entity, old_row=old_row, new_row=None),
@@ -444,13 +488,26 @@ class Scads:
 
     def get(self, entity: str, key: Tuple,
             session_id: Optional[str] = None) -> OperationOutcome:
-        """Read one entity row under the declared read-consistency and session axes."""
+        """Read one entity row under the declared read-consistency and session axes.
+
+        With the cache tier attached, a hit serves the cached version without
+        touching the cluster; the TTL derivation and the session bypass in
+        :mod:`repro.cache.policy` keep that shortcut inside the declared
+        staleness bound and session guarantees.
+        """
         namespace = entity_namespace(entity)
         session = self.sessions.get(session_id) if session_id is not None else None
-        value, latency, success, stale, error = self._consistent_read(namespace, key, session)
+        served = self._cached_entity_read(namespace, key, session)
+        if served is not None:
+            row, latency = served
+            self._record_op("read", latency, True)
+            return OperationOutcome(success=True, latency=latency, row=row)
+        value, latency, success, stale, error, freshness = self._consistent_read(
+            namespace, key, session)
         self._record_op("read", latency, success)
         if not success:
             return OperationOutcome(success=False, latency=latency, error=error, stale=stale)
+        self._admit_entity_read(namespace, key, value, stale, freshness)
         row = dict(value.value) if value is not None and isinstance(value.value, dict) else None
         return OperationOutcome(success=True, latency=latency, row=row, stale=stale)
 
@@ -461,19 +518,38 @@ class Scads:
         session = self.sessions.get(session_id) if session_id is not None else None
 
         def range_read(namespace, start, end, limit, reverse):
+            if self.cache is not None:
+                cached = self.cache.lookup_range(namespace, start, end, limit, reverse)
+                if cached is not None:
+                    return cached, self.cache.sample_hit_latency()
+            # A scan that will be *cached* reads the primary: a lagging
+            # replica could hand us rows missing an index write that was
+            # already applied — and whose apply-time invalidation therefore
+            # already fired — leaving stale rows cached for a full TTL with
+            # nothing left to evict them.  Primary fills close that race;
+            # with the cache off, reads keep their replica load-balancing.
+            will_admit = self.cache is not None and self.cache.admits_ranges()
             result = self.router.read_range(
                 KeyRange(namespace=namespace, start=start, end=end),
-                limit=limit, reverse=reverse,
+                limit=limit, reverse=reverse, from_primary=will_admit,
             )
             if not result.success:
                 return [], result.latency
             rows = [(key, value.value if isinstance(value.value, dict) else {})
                     for key, value in result.rows]
+            if will_admit:
+                self.cache.admit_range(namespace, start, end, limit, reverse, rows)
             return rows, result.latency
 
         def entity_get(entity_name, key):
             namespace = entity_namespace(entity_name)
-            value, latency, success, _, _ = self._consistent_read(namespace, key, session)
+            served = self._cached_entity_read(namespace, key, session)
+            if served is not None:
+                return served
+            value, latency, success, stale, _, freshness = self._consistent_read(
+                namespace, key, session)
+            if success:
+                self._admit_entity_read(namespace, key, value, stale, freshness)
             if not success or value is None or not isinstance(value.value, dict):
                 return None, latency
             return dict(value.value), latency
@@ -482,6 +558,34 @@ class Scads:
         result = executor.execute(compiled.plan, params)
         self._record_op("read", result.latency, True)
         return result
+
+    # ------------------------------------------------------------- cache tier glue
+
+    def _cached_entity_read(self, namespace: str, key: Key,
+                            session: Optional[Session]):
+        """Serve one entity read from the cache tier, if it can.
+
+        Returns ``(row, latency)`` on a hit — with the session's monotonic
+        history updated, exactly as a cluster read would — or None on
+        miss/bypass/no cache (the caller then reads through the cluster).
+        """
+        if self.cache is None:
+            return None
+        entry = self.cache.lookup_entity(namespace, key, session)
+        if entry is None:
+            return None
+        value = entry.value
+        if session is not None:
+            session.note_read(namespace, key, value)
+        row = (dict(value.value)
+               if value is not None and isinstance(value.value, dict) else None)
+        return row, self.cache.sample_hit_latency()
+
+    def _admit_entity_read(self, namespace: str, key: Key, value,
+                           stale: bool, known_staleness: Optional[float]) -> None:
+        """Read-through fill after a successful cluster read."""
+        if self.cache is not None and not stale:
+            self.cache.admit_entity(namespace, key, value, known_staleness)
 
     # ------------------------------------------------------- consistency-aware read
 
@@ -493,14 +597,21 @@ class Scads:
     ):
         """Replica read with staleness-bound and session-guarantee enforcement.
 
-        Returns (value, latency, success, stale, error).
+        Returns (value, latency, success, stale, error, known_staleness).
+        ``known_staleness`` is how many seconds the returned value was behind
+        the primary when it was served — 0.0 when verified current, a
+        positive age when the primary held a newer (still in-bound) version,
+        and None when the bound could not be verified.  The cache tier
+        subtracts it from the staleness budget when deriving an entry's TTL,
+        and never admits unverified (None) reads.
         """
         result = self.router.read(namespace, key)
         if not result.success:
-            return None, result.latency, False, False, result.error
+            return None, result.latency, False, False, result.error, None
         value = result.value
         latency = result.latency
         stale = False
+        known_staleness: Optional[float] = None
 
         group = self.cluster.group_for_key(namespace, key)
         primary_reachable = self.cluster.network.is_reachable("client", group.primary)
@@ -519,16 +630,33 @@ class Scads:
                 if primary_value is not None:
                     replica_version = value.version if value is not None else 0
                     age = self.sim.now - primary_value.timestamp
-                    if (primary_value.version > replica_version
-                            and age > self.spec.read.staleness_bound):
+                    if primary_value.version <= replica_version:
+                        known_staleness = 0.0
+                    elif age > self.spec.read.staleness_bound:
                         needs_primary = True
+                    elif primary_value.version == replica_version + 1:
+                        # Exactly one version behind: the primary value's age
+                        # is precisely when the replica value was superseded.
+                        known_staleness = age
+                    else:
+                        # Two or more versions behind: the served value was
+                        # superseded by an *older* intermediate write whose
+                        # commit time the primary no longer holds, so its true
+                        # staleness is unknown — serve it (the paper's bound
+                        # is enforced against the newest version, as before)
+                        # but never admit it to the cache.
+                        known_staleness = None
+                elif value is None:
+                    # Verified negative: the primary has nothing newer either.
+                    known_staleness = 0.0
         else:
             # Cannot verify the bound at all: availability vs. read consistency.
             decision = self.arbitrator.resolve_read_conflict(
                 self.sim.now, "staleness_check_unreachable"
             )
             if decision.failed_request:
-                return None, latency, False, False, "read consistency prioritised over availability"
+                return (None, latency, False, False,
+                        "read consistency prioritised over availability", None)
             stale = True
 
         # Session guarantees: the replica value must be at least as new as what
@@ -542,24 +670,27 @@ class Scads:
                 latency += primary_result.latency
                 if primary_result.success:
                     value = primary_result.value
+                    known_staleness = 0.0
                 else:
                     decision = self.arbitrator.resolve_read_conflict(
                         self.sim.now, "primary_read_failed"
                     )
                     if decision.failed_request:
-                        return None, latency, False, False, primary_result.error
+                        return None, latency, False, False, primary_result.error, None
                     stale = True
+                    known_staleness = None
             else:
                 decision = self.arbitrator.resolve_session_conflict(
                     self.sim.now, "primary_unreachable_for_session_guarantee"
                 )
                 if decision.failed_request:
-                    return None, latency, False, False, "session guarantee unsatisfiable"
+                    return None, latency, False, False, "session guarantee unsatisfiable", None
                 stale = True
+                known_staleness = None
 
         if session is not None:
             session.note_read(namespace, key, value)
-        return value, latency, True, stale, None
+        return value, latency, True, stale, None, known_staleness
 
     # --------------------------------------------------------- provider interface
 
@@ -581,6 +712,19 @@ class Scads:
         self._window_lag_max = 0.0
         return lag
 
+    def cache_hit_counts(self) -> Tuple[int, int]:
+        """Cumulative cache (hits, misses); (0, 0) without a cache tier
+        (WorkloadStatsProvider — the monitor diffs these per window)."""
+        if self.cache is None:
+            return (0, 0)
+        return self.cache.hit_counts()
+
+    def _note_index_write(self, namespace: str, key: Key) -> None:
+        """Adapter hook: an index/reverse-index entry was written; invalidate
+        the cached query scans covering it."""
+        if self.cache is not None:
+            self.cache.note_index_write(namespace, key)
+
     def _on_replication_lag(self, record) -> None:
         if record.lag is not None:
             self._window_lag_max = max(self._window_lag_max, record.lag)
@@ -600,6 +744,10 @@ class Scads:
     def cost_so_far(self) -> float:
         """Dollars spent on instances so far."""
         return self.pool.total_cost()
+
+    def cache_hit_rate(self) -> float:
+        """All-time cache hit rate (0.0 without a cache tier)."""
+        return self.cache.hit_rate() if self.cache is not None else 0.0
 
     def node_count(self) -> int:
         return self.cluster.node_count()

@@ -162,6 +162,9 @@ class ProvisioningController:
             behind_schedule=behind,
             mean_utilisation=observation.features.mean_utilisation,
             max_utilisation=observation.features.max_utilisation,
+            # Cache absorption is capacity we do not have to rent: the planner
+            # sizes the cluster for the miss traffic only.
+            cache_hit_rate=observation.cache_hit_rate,
         )
         action = self._act(plan, observation)
         self._record(now, observation, plan, action)
@@ -352,6 +355,7 @@ class ProvisioningController:
         self._series.record("nodes", now, self._cluster.node_count())
         self._series.record("groups", now, self._cluster.group_count())
         self._series.record("pending_maintenance", now, observation.pending_maintenance)
+        self._series.record("cache_hit_rate", now, observation.cache_hit_rate)
 
     def actions(self) -> List[ScalingAction]:
         return list(self._actions)

@@ -10,7 +10,7 @@ those observations into the ML performance models.  The resulting
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Protocol
+from typing import Dict, List, Optional, Protocol, Tuple
 
 from repro.core.consistency.spec import PerformanceSLA
 from repro.metrics.sla import SLAReport, SLATracker
@@ -34,6 +34,13 @@ class WorkloadStatsProvider(Protocol):
     def recent_max_propagation_lag(self) -> float:
         """Largest replication/index propagation lag observed recently (seconds)."""
 
+    def cache_hit_counts(self) -> Tuple[int, int]:
+        """Cumulative cache-tier (hits, misses); (0, 0) without a cache.
+
+        Optional: providers predating the cache tier may omit it (the monitor
+        falls back to (0, 0) via ``getattr``).
+        """
+
 
 @dataclass
 class WindowObservation:
@@ -47,6 +54,11 @@ class WindowObservation:
     sla_reports: Dict[str, SLAReport] = field(default_factory=dict)
     pending_maintenance: int = 0
     max_propagation_lag: float = 0.0
+    # Fraction of this window's client demand the cache tier absorbed.
+    # ``request_rate`` is the *client* rate (what the forecaster should learn);
+    # the cluster saw only ``request_rate * (1 - cache_hit_rate)`` of it, and
+    # ``features`` are built from that cluster-side rate.
+    cache_hit_rate: float = 0.0
 
     def any_sla_violated(self) -> bool:
         return any(not report.satisfied for report in self.sla_reports.values())
@@ -54,6 +66,10 @@ class WindowObservation:
 
 class SLAMonitor:
     """Closes observation windows and trains the performance models."""
+
+    # Above this window absorption, the observed latency percentile is a
+    # cache/cluster blend and is not used as a latency-model label.
+    CACHE_BLEND_TRAINING_CUTOFF = 0.05
 
     def __init__(
         self,
@@ -64,7 +80,18 @@ class SLAMonitor:
         slas: Dict[str, PerformanceSLA],
         exclude_hotspot_training: bool = False,
         hotspot_skew_ratio: float = 1.6,
+        rate_tracker=None,
     ) -> None:
+        """``rate_tracker`` is an optional
+        :class:`~repro.storage.rebalancer.PartitionLoadTracker` (any object
+        with ``rate_estimate()``/``total_load()``).  When supplied — the
+        engine passes the rebalancer's tracker — the mean-utilisation feature
+        is computed from its decayed-count rate inversion instead of the mean
+        of per-node interarrival EWMAs, whose reciprocal is systematically
+        high (Jensen) and noisy over short windows.  The max-utilisation
+        feature keeps using node EWMAs: it exists to capture single-node
+        hotspots, which an aggregate rate cannot see.
+        """
         if hotspot_skew_ratio <= 1.0:
             raise ValueError("hotspot_skew_ratio must be > 1")
         self._cluster = cluster
@@ -74,9 +101,11 @@ class SLAMonitor:
         self._slas = dict(slas)
         self._exclude_hotspot_training = exclude_hotspot_training
         self._hotspot_skew_ratio = hotspot_skew_ratio
+        self._rate_tracker = rate_tracker
         self._extractor = FeatureExtractor()
         self._last_counts: Dict[str, int] = {}
         self._last_time: Optional[float] = None
+        self._last_cache_counts: Tuple[int, int] = (0, 0)
         self._observations: List[WindowObservation] = []
 
     # ------------------------------------------------------------------ windows
@@ -94,15 +123,39 @@ class SLAMonitor:
         writes = max(window_counts.get("write", 0), 0)
         request_rate = total_ops / duration if duration > 0 else 0.0
         write_fraction = writes / total_ops if total_ops > 0 else 0.0
+        cache_hit_rate = self._window_cache_hit_rate(write_fraction)
 
         self._cluster.decay_load()
         stats = self._cluster.stats()
         pending = self._provider.pending_maintenance()
+        # The cluster never saw the reads the cache absorbed; feed the models
+        # the rate that actually reached the nodes, or a well-cached workload
+        # would teach the latency model that enormous rates are harmless.
+        # Absorption also shifts the *mix* that reaches the nodes toward
+        # writes (only reads are absorbed), so the feature write fraction is
+        # writes over cluster-served operations, not over client operations.
+        cluster_rate = request_rate * (1.0 - cache_hit_rate)
+        cluster_write_fraction = write_fraction
+        if cache_hit_rate > 0.0:
+            cluster_write_fraction = min(
+                write_fraction / max(1.0 - cache_hit_rate, 1e-9), 1.0)
+        mean_utilisation = stats.mean_utilisation
+        if self._rate_tracker is not None and self._rate_tracker.total_load() > 0 \
+                and stats.total_capacity_ops > 0 \
+                and getattr(self._rate_tracker, "prunes_total", 0) == 0:
+            # Decayed-count rate inversion: steadier than per-node
+            # interarrival EWMAs (see PartitionLoadTracker.rate_estimate).
+            # Once the sketch has pruned, its totals under-count the cold
+            # tail and the inverted rate is biased low — a deflated mean
+            # would misclassify busy windows as hotspots (and suppress
+            # latency-model training), so fall back to the EWMAs then.
+            mean_utilisation = (self._rate_tracker.rate_estimate()
+                                / stats.total_capacity_ops)
         features = self._extractor.extract(
-            request_rate=request_rate,
-            write_fraction=write_fraction,
+            request_rate=cluster_rate,
+            write_fraction=cluster_write_fraction,
             node_count=max(stats.node_count, 1),
-            mean_utilisation=stats.mean_utilisation,
+            mean_utilisation=mean_utilisation,
             max_utilisation=stats.max_utilisation,
             pending_updates=pending,
         )
@@ -121,10 +174,37 @@ class SLAMonitor:
             sla_reports=reports,
             pending_maintenance=pending,
             max_propagation_lag=max_lag,
+            cache_hit_rate=cache_hit_rate,
         )
         self._train(observation)
         self._observations.append(observation)
         return observation
+
+    def _window_cache_hit_rate(self, write_fraction: float) -> float:
+        """Fraction of this window's client demand the cache tier absorbed.
+
+        Measured in *lookup* units, not operations: a compiled query is one
+        operation but several cache lookups (its range scan plus each
+        dereference), and every lookup that misses is cluster work the
+        discount must not hide.  The lookup-level hit rate — hits over
+        (hits + misses) — is therefore the fraction of an average read's
+        cluster cost that was absorbed; scaling by the read share
+        ``1 - write_fraction`` converts it to a fraction of total demand
+        (writes never consult the cache).
+        """
+        counts_fn = getattr(self._provider, "cache_hit_counts", None)
+        if not callable(counts_fn):
+            return 0.0
+        hits, misses = counts_fn()
+        last_hits, last_misses = self._last_cache_counts
+        self._last_cache_counts = (hits, misses)
+        window_hits = max(hits - last_hits, 0)
+        window_misses = max(misses - last_misses, 0)
+        lookups = window_hits + window_misses
+        if lookups <= 0:
+            return 0.0
+        read_share = min(max(1.0 - write_fraction, 0.0), 1.0)
+        return (window_hits / lookups) * read_share
 
     def _train(self, observation: WindowObservation) -> None:
         """Feed the window into the latency and propagation models."""
@@ -136,12 +216,17 @@ class SLAMonitor:
         # optionally excluded: their tail latency reflects *placement*, not
         # capacity, and training on them teaches the capacity model that
         # adding nodes never helps.  The repartition branch owns that regime.
+        # Windows with material cache absorption are excluded for the dual
+        # reason: the observed percentile blends sub-millisecond cache hits
+        # with cluster reads, so the label says "this cluster rate is
+        # harmless" when it is the *cache* that made it harmless — a model
+        # trained on that under-provisions the moment the hit rate drops.
         train_latency = not (
             self._exclude_hotspot_training
             and observation.features.max_utilisation
             >= self._hotspot_skew_ratio * max(observation.features.mean_utilisation, 1e-9)
             and observation.features.max_utilisation >= 0.3
-        )
+        ) and observation.cache_hit_rate < self.CACHE_BLEND_TRAINING_CUTOFF
         for op_type, sla in self._slas.items():
             report = observation.sla_reports.get(op_type)
             if report is None or report.request_count == 0:

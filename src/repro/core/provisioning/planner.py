@@ -27,6 +27,9 @@ class CapacityPlan:
     utilisation_required_nodes: int
     staleness_pressure: bool
     reason: str
+    # Fraction of forecast demand the cache tier is expected to absorb; the
+    # node requirements above were computed against the discounted rate.
+    cache_absorbed_fraction: float = 0.0
     # True when the observed load pattern suggests the SLA pressure comes from
     # *placement* (one hot group, cluster-wide headroom), so a split/migrate
     # should be tried before renting another replica group.
@@ -99,21 +102,38 @@ class CapacityPlanner:
         behind_schedule: bool = False,
         mean_utilisation: float = 0.0,
         max_utilisation: float = 0.0,
+        cache_hit_rate: float = 0.0,
     ) -> CapacityPlan:
         """Compute the target node count for the forecast workload.
 
         ``mean_utilisation`` / ``max_utilisation`` are the observed cluster
         load statistics; a wide gap between them marks the plan as a
         repartition candidate (see :class:`CapacityPlan`).
+
+        ``cache_hit_rate`` is the fraction of demand the cache tier has been
+        absorbing (the monitor's window measurement).  The cluster only has
+        to serve the remainder, so every node requirement is computed against
+        the discounted rate — cache absorption is capacity the controller
+        does not have to rent.  ``forecast_rate`` itself stays the *client*
+        demand so reports and forecasts remain in one unit.
         """
         if forecast_rate < 0:
             raise ValueError("forecast_rate must be non-negative")
+        if not 0.0 <= cache_hit_rate <= 1.0:
+            raise ValueError(f"cache_hit_rate must be in [0, 1], got {cache_hit_rate}")
+        cluster_rate = forecast_rate * (1.0 - cache_hit_rate)
+        # Only reads are absorbed, so the mix reaching the nodes shifts
+        # toward writes; query the model with the cluster-side fraction.
+        cluster_write_fraction = write_fraction
+        if cache_hit_rate > 0.0:
+            cluster_write_fraction = min(
+                write_fraction / max(1.0 - cache_hit_rate, 1e-9), 1.0)
         # Latency requirement: the strictest SLA wins.
         latency_nodes = self.min_nodes
         for sla in slas.values():
             needed = self.latency_model.required_nodes(
-                predicted_rate=forecast_rate,
-                write_fraction=write_fraction,
+                predicted_rate=cluster_rate,
+                write_fraction=cluster_write_fraction,
                 target_latency=sla.latency,
                 max_nodes=self.max_nodes,
                 pending_updates=pending_maintenance,
@@ -121,13 +141,13 @@ class CapacityPlanner:
             latency_nodes = max(latency_nodes, needed)
         # Utilisation requirement: never plan to run nodes hotter than the ceiling.
         utilisation_nodes = max(
-            int(math.ceil(forecast_rate / (self.node_capacity_ops * self.target_utilisation))),
+            int(math.ceil(cluster_rate / (self.node_capacity_ops * self.target_utilisation))),
             self.min_nodes,
         )
         target = max(latency_nodes, utilisation_nodes)
         # Staleness pressure: the update queue is (predicted to be) in danger of
         # missing the declared bound, so add headroom for maintenance throughput.
-        per_node_rate = forecast_rate / max(target, 1)
+        per_node_rate = cluster_rate / max(target, 1)
         staleness_pressure = behind_schedule or self.lag_model.danger(
             pending_updates=pending_maintenance,
             per_node_rate=per_node_rate,
@@ -139,6 +159,8 @@ class CapacityPlanner:
         reason = "latency model" if latency_nodes >= utilisation_nodes else "utilisation ceiling"
         if staleness_pressure:
             reason += " + staleness headroom"
+        if cache_hit_rate >= 0.01:
+            reason += f" (cache absorbing {cache_hit_rate:.0%})"
         # Hotspot, not overload: the worst node is past the hot threshold while
         # the cluster mean still has headroom, so moving load is likely cheaper
         # than adding capacity.
@@ -156,4 +178,5 @@ class CapacityPlanner:
             staleness_pressure=staleness_pressure,
             reason=reason,
             repartition_candidate=repartition_candidate,
+            cache_absorbed_fraction=cache_hit_rate,
         )

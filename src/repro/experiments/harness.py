@@ -12,6 +12,7 @@ are all exposed so a larger run only needs different arguments.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
@@ -42,6 +43,23 @@ SCALED_DOWN_INSTANCE = InstanceType(
     boot_delay=60.0,
     capacity_ops_per_sec=60.0,
 )
+
+
+def smoke_mode() -> bool:
+    """True when ``BENCH_SMOKE=1``: benchmarks run shortened workloads.
+
+    ``make bench-smoke`` sets this to sweep every ``bench_*.py`` quickly as a
+    crash/regression check.  The paper's *relative* claims (who wins and by
+    how much) need the full durations to manifest, so benchmarks skip their
+    economics assertions in smoke mode — the run still exercises the whole
+    closed loop end to end.
+    """
+    return os.environ.get("BENCH_SMOKE", "") not in ("", "0")
+
+
+def smoke_scaled(full: float, smoke: float) -> float:
+    """``full`` normally, ``smoke`` under ``BENCH_SMOKE=1`` (durations, rates)."""
+    return smoke if smoke_mode() else full
 
 
 @dataclass

@@ -128,6 +128,7 @@ class Cluster:
         self._merges_total = 0
         self._migrations_total = 0
         self._migration_seconds_total = 0.0
+        self._reconciled_keys_total = 0
         self._load_tracker = None
 
         if partitioner_kind == "hash":
@@ -549,6 +550,60 @@ class Cluster:
                             target_node.apply_replica_write(namespace, key, value)
                     store.delete(key)
 
+    def reconcile_node(self, node_id: str) -> int:
+        """Reclaim stale copies on a (typically just-recovered) node.
+
+        A migration source that was down when its transfer completed keeps
+        its source-side copies (see :meth:`_complete_migration`); without
+        this pass they linger until the next changed-key sweep happens to
+        scan the node.  The failure injector calls this on every recovery:
+        any key the node's group no longer owns — and that is not the source
+        side of a still-in-flight migration, which dual-routing relies on —
+        is pushed to the current owner (last-write-wins protects against
+        clobbering newer data) and then dropped locally.
+
+        Returns the number of keys reclaimed.
+        """
+        node = self.nodes.get(node_id)
+        if node is None or not node.alive:
+            return 0
+        group_id = next((gid for gid, group in self.groups.items()
+                         if node_id in group.node_ids), None)
+        if group_id is None:
+            return 0
+        in_flight_tokens = {
+            token for record in self._migrations
+            if record.source_group == group_id
+            for token in record.tokens
+        }
+        reclaimed = 0
+        for namespace in node.namespaces():
+            doomed: List[Key] = []
+            for key, value in node.scan_namespace(namespace):
+                if partition_token(key) in in_flight_tokens:
+                    continue
+                owner_id = self.partitioner.group_for_key(namespace, key)
+                if owner_id == group_id:
+                    continue
+                owner = self.groups.get(owner_id)
+                if owner is not None:
+                    for owner_node_id in owner.node_ids:
+                        owner_node = self.nodes.get(owner_node_id)
+                        if owner_node is not None and owner_node.alive:
+                            owner_node.apply_replica_write(namespace, key, value)
+                        else:
+                            # Deliver with retries once the owner replica
+                            # recovers, exactly like migration catch-up.
+                            self.replication.replicate_to(
+                                node_id, owner_node_id, namespace, key, value)
+                doomed.append(key)
+            store = node._store(namespace)  # noqa: SLF001 - cluster owns its nodes
+            for key in doomed:
+                store.delete(key)
+            reclaimed += len(doomed)
+        self._reconciled_keys_total += reclaimed
+        return reclaimed
+
     def active_migrations(self) -> List[MigrationRecord]:
         """Migrations whose simulated transfer has not finished yet."""
         return list(self._migrations)
@@ -593,8 +648,50 @@ class Cluster:
         return len(self.groups)
 
     def total_keys(self) -> int:
-        """Live keys counted at primaries (replica copies are not double counted)."""
-        return sum(self.nodes[g.primary].key_count() for g in self.groups.values())
+        """Live keys counted at owner primaries.
+
+        Replica copies within a group are never counted, and neither are the
+        *source-side* copies of in-flight migrations: while a targeted
+        migration is dual-routing, the moved keys exist at both the source and
+        the target primary, and anything that reads this count (cache sizing,
+        storage billing) must see each logical key exactly once.
+
+        While migrations are in flight this scans each source primary once
+        per call (token-set membership first, owner lookup only on matches).
+        At simulation scale that is cheap; if keyspaces grow to where the
+        per-control-window ``stats()`` call hurts, replace the sweep with an
+        incremental duplicate count maintained by the dual-write/reclaim
+        paths.
+        """
+        total = sum(self.nodes[g.primary].key_count() for g in self.groups.values())
+        if not self._migrations:
+            return total
+        tokens_by_source: Dict[str, Set[str]] = {}
+        for record in self._migrations:
+            tokens_by_source.setdefault(record.source_group, set()).update(record.tokens)
+        for source_id, tokens in tokens_by_source.items():
+            group = self.groups.get(source_id)
+            if group is None:
+                continue
+            primary = self.nodes.get(group.primary)
+            if primary is None or not primary.alive:
+                # key_count() still reports a dead primary's keys in the main
+                # sum, but a dead node cannot be scanned; fall back to the
+                # transfer sizes recorded at migration start (approximate if
+                # writes landed mid-flight, far closer than not subtracting).
+                total -= sum(record.keys_moved for record in self._migrations
+                             if record.source_group == source_id)
+                continue
+            for namespace in primary.namespaces():
+                for key, _ in primary.scan_namespace(namespace):
+                    if (partition_token(key) in tokens
+                            # Ownership can ping-pong back mid-flight; a copy
+                            # the source owns again is the live one, not a
+                            # duplicate.
+                            and self.partitioner.group_for_key(namespace, key)
+                            != source_id):
+                        total -= 1
+        return total
 
     def decay_load(self) -> None:
         """Let idle nodes' load estimates decay (run periodically)."""
@@ -641,3 +738,8 @@ class Cluster:
     def migration_seconds_total(self) -> float:
         """Simulated seconds spent transferring keys in targeted migrations."""
         return self._migration_seconds_total
+
+    @property
+    def reconciled_keys_total(self) -> int:
+        """Stale copies reclaimed by post-recovery reconciliation passes."""
+        return self._reconciled_keys_total

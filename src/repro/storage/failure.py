@@ -53,6 +53,10 @@ class FailureInjector:
             node = self._cluster.nodes.get(node_id)
             if node is not None:
                 node.recover()
+                # Reconciliation pass: a recovered migration source reclaims
+                # its stale copies now instead of waiting for the next
+                # changed-key sweep to happen to scan it.
+                self._cluster.reconcile_node(node_id)
 
         self._sim.schedule_at(at, go_down, name=f"crash:{node_id}")
         if duration is not None:

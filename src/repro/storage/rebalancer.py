@@ -68,6 +68,7 @@ class PartitionLoadTracker:
         self._counts: Dict[str, float] = {}
         self._last_decay = 0.0
         self.total_accesses = 0
+        self.prunes_total = 0
 
     def note(self, token: str, is_write: bool, now: float) -> None:
         """Record one access to ``token`` at simulated time ``now``."""
@@ -89,6 +90,10 @@ class PartitionLoadTracker:
         keep = sorted(self._counts.items(), key=lambda tc: tc[1],
                       reverse=True)[: self._max_tokens // 2]
         self._counts = dict(keep)
+        # Pruning discards the cold tail's mass, so from here on the sketch
+        # under-counts total load (fine for hot/cold *ranking*, not for
+        # absolute rates) — consumers of rate_estimate() can check this.
+        self.prunes_total += 1
 
     # ------------------------------------------------------------------ queries
 

@@ -12,6 +12,8 @@ from repro.baselines.quorum_store import QuorumConfig, QuorumStore
 from repro.workloads.opmix import Operation, OperationKind
 from repro.workloads.social_graph import SocialGraph
 
+pytestmark = pytest.mark.tier1
+
 
 def make_app(seed=2, friend_cap=50, fof=True):
     engine = Scads(seed=seed, initial_groups=2, autoscale=False)

@@ -1,0 +1,367 @@
+"""Tests for the staleness-budget cache tier.
+
+Correctness contract under test:
+
+* no cached read is ever served beyond its declared staleness bound (a
+  hypothesis property over random write/read/advance schedules, validated
+  against an externally maintained write history);
+* read-your-writes sessions bypass the cache after they write (regression);
+* write-through invalidation drops the written key and exactly the cached
+  range scans covering it;
+* the store's LRU + TTL accounting stays within capacity;
+* the provisioning loop sees cache absorption (monitor hit-rate feature,
+  planner demand discount).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cache.policy import AdmissionPolicy
+from repro.cache.store import StalenessBudgetCache, entity_token
+from repro.cache.tier import CacheConfig
+from repro.core.consistency.spec import (
+    ConsistencySpec,
+    PerformanceSLA,
+    ReadConsistency,
+    SessionGuarantee,
+)
+from repro.core.engine import Scads
+from repro.core.query.plans import entity_namespace
+from repro.core.schema import EntitySchema, Field
+from repro.storage.records import VersionedValue
+
+pytestmark = pytest.mark.tier1
+
+BOUND = 5.0
+
+
+def make_engine(staleness_bound: float = BOUND, read_your_writes: bool = False,
+                capacity: int = 256, seed: int = 3) -> Scads:
+    spec = ConsistencySpec(
+        performance=PerformanceSLA(percentile=99.0, latency=0.250),
+        read=ReadConsistency(staleness_bound=staleness_bound),
+        session=SessionGuarantee(read_your_writes=read_your_writes),
+    )
+    engine = Scads(seed=seed, consistency=spec, autoscale=False,
+                   initial_groups=2, cache=CacheConfig(capacity=capacity))
+    engine.register_entity(EntitySchema(
+        "profiles", key_fields=[Field("user_id")], value_fields=[Field("bio")],
+    ))
+    engine.start()
+    return engine
+
+
+# ------------------------------------------------------------------ the store
+
+
+class TestStore:
+    def test_lru_eviction_keeps_cost_within_capacity(self):
+        store = StalenessBudgetCache(capacity=3)
+        for i in range(5):
+            store.put_entity("ns", (f"k{i}",), i, now=0.0, ttl=10.0)
+        assert store.cost_total <= 3
+        assert store.stats.lru_evictions == 2
+        assert store.get(entity_token("ns", ("k0",)), now=0.0) is None
+        assert store.get(entity_token("ns", ("k4",)), now=0.0) is not None
+
+    def test_hit_refreshes_lru_position(self):
+        store = StalenessBudgetCache(capacity=2)
+        store.put_entity("ns", ("a",), 1, now=0.0, ttl=10.0)
+        store.put_entity("ns", ("b",), 2, now=0.0, ttl=10.0)
+        store.get(entity_token("ns", ("a",)), now=0.0)  # a is now most recent
+        store.put_entity("ns", ("c",), 3, now=0.0, ttl=10.0)
+        assert store.get(entity_token("ns", ("a",)), now=0.0) is not None
+        assert store.get(entity_token("ns", ("b",)), now=0.0) is None
+
+    def test_ttl_expiry_is_a_miss_and_reclaims(self):
+        store = StalenessBudgetCache(capacity=8)
+        store.put_entity("ns", ("k",), 1, now=0.0, ttl=2.0)
+        assert store.get(entity_token("ns", ("k",)), now=1.9) is not None
+        assert store.get(entity_token("ns", ("k",)), now=2.0) is None
+        assert store.stats.ttl_expirations == 1
+        assert len(store) == 0
+
+    def test_range_entries_cost_their_row_count(self):
+        store = StalenessBudgetCache(capacity=10)
+        rows = [((f"k{i}",), {"v": i}) for i in range(7)]
+        store.put_range("ns", ("a",), ("z",), None, False, rows, now=0.0, ttl=10.0)
+        assert store.cost_total == 7
+        store.put_entity("ns", ("x",), 1, now=0.0, ttl=10.0)
+        store.put_entity("ns", ("y",), 2, now=0.0, ttl=10.0)
+        store.put_entity("ns", ("z",), 3, now=0.0, ttl=10.0)
+        assert store.cost_total <= 10
+
+    def test_invalidate_key_drops_exactly_the_covering_ranges(self):
+        store = StalenessBudgetCache(capacity=64)
+        store.put_entity("ns", ("k5",), 1, now=0.0, ttl=10.0)
+        store.put_range("ns", ("k0",), ("k9",), None, False,
+                        [(("k5",), {})], now=0.0, ttl=10.0)
+        store.put_range("ns", ("m0",), ("m9",), None, False,
+                        [(("m5",), {})], now=0.0, ttl=10.0)
+        store.put_range("other", ("k0",), ("k9",), None, False,
+                        [(("k5",), {})], now=0.0, ttl=10.0)
+        dropped = store.invalidate_key("ns", ("k5",))
+        assert dropped == 2  # the entity entry and the one covering range
+        assert len(store) == 2  # the non-overlapping and other-namespace ranges
+
+
+# ----------------------------------------------------------------- the policy
+
+
+class TestPolicy:
+    def spec(self, bound: float = 10.0) -> ConsistencySpec:
+        return ConsistencySpec(read=ReadConsistency(staleness_bound=bound))
+
+    def test_ttl_is_bound_minus_headroom_minus_carried_staleness(self):
+        policy = AdmissionPolicy(self.spec(10.0), propagation_headroom=1.0)
+        assert policy.entity_ttl(0.0) == pytest.approx(9.0)
+        assert policy.entity_ttl(4.0) == pytest.approx(5.0)
+        assert policy.entity_ttl(9.5) == 0.0
+        assert policy.range_ttl() == pytest.approx(9.0)
+
+    def test_unverified_reads_are_never_admitted(self):
+        policy = AdmissionPolicy(self.spec(10.0))
+        assert policy.entity_ttl(None) == 0.0
+
+    def test_headroom_swallowing_the_whole_budget_disables_caching(self):
+        policy = AdmissionPolicy(self.spec(1.0), propagation_headroom=1.0)
+        assert not policy.cacheable()
+
+    def test_default_headroom_scales_with_the_bound_but_is_capped(self):
+        assert AdmissionPolicy(self.spec(10.0)).propagation_headroom == pytest.approx(1.0)
+        assert AdmissionPolicy(self.spec(600.0)).propagation_headroom == pytest.approx(2.0)
+
+
+# ------------------------------------------------------------ engine behaviour
+
+
+class TestEngineIntegration:
+    def test_cache_defaults_off(self):
+        engine = Scads(seed=0, autoscale=False)
+        assert engine.cache is None
+        assert engine.cache_hit_counts() == (0, 0)
+
+    def test_repeated_get_hits_cache_and_is_much_faster(self):
+        engine = make_engine()
+        engine.put("profiles", {"user_id": "u1", "bio": "hi"})
+        engine.settle(1.0)
+        miss = engine.get("profiles", ("u1",))
+        hit = engine.get("profiles", ("u1",))
+        assert hit.row == miss.row
+        assert hit.latency < miss.latency / 2
+        assert engine.cache.store.stats.hits == 1
+
+    def test_write_through_invalidation_on_put_and_delete(self):
+        engine = make_engine()
+        engine.put("profiles", {"user_id": "u1", "bio": "v1"})
+        engine.settle(1.0)
+        engine.get("profiles", ("u1",))
+        assert engine.cache.store.peek(
+            entity_token(entity_namespace("profiles"), ("u1",))) is not None
+        engine.put("profiles", {"user_id": "u1", "bio": "v2"})
+        assert engine.cache.store.peek(
+            entity_token(entity_namespace("profiles"), ("u1",))) is None
+        engine.settle(1.0)
+        engine.get("profiles", ("u1",))
+        engine.delete("profiles", ("u1",))
+        assert engine.cache.store.peek(
+            entity_token(entity_namespace("profiles"), ("u1",))) is None
+
+    def test_cached_query_range_invalidated_by_index_maintenance(self):
+        engine = make_engine()
+        engine.register_query(
+            "profile_of", "SELECT * FROM profiles WHERE user_id = <uid> LIMIT 5")
+        engine.put("profiles", {"user_id": "u1", "bio": "v1"})
+        engine.settle(1.0)
+        first = engine.query("profile_of", {"uid": "u1"})
+        cached = engine.query("profile_of", {"uid": "u1"})
+        assert cached.rows == first.rows
+        assert engine.cache.store.stats.hits >= 1
+        engine.put("profiles", {"user_id": "u1", "bio": "v2"})
+        engine.settle(1.0)  # applies index maintenance -> invalidates the scan
+        after = engine.query("profile_of", {"uid": "u1"})
+        assert after.rows[0]["bio"] == "v2"
+
+    def test_entries_expire_at_the_derived_ttl(self):
+        engine = make_engine(staleness_bound=BOUND)
+        engine.put("profiles", {"user_id": "u1", "bio": "hi"})
+        engine.settle(1.0)
+        engine.get("profiles", ("u1",))
+        token = entity_token(entity_namespace("profiles"), ("u1",))
+        entry = engine.cache.store.peek(token)
+        assert entry is not None
+        budget = engine.cache.policy.servable_budget
+        assert entry.expires_at - entry.inserted_at <= budget + 1e-9
+        engine.run_for(budget + 0.1)
+        assert engine.cache.store.get(token, engine.now) is None
+
+    def test_read_your_writes_session_bypasses_stale_cache_entry(self):
+        """Regression: a RYW session must not be served a cached value older
+        than its own write, even when the entry is well inside its TTL."""
+        engine = make_engine(read_your_writes=True)
+        namespace = entity_namespace("profiles")
+        engine.put("profiles", {"user_id": "u1", "bio": "old"}, session_id="w")
+        engine.settle(1.0)
+        engine.put("profiles", {"user_id": "u1", "bio": "new"}, session_id="w")
+        # Forge the race the bypass exists for: a pre-write value readmitted
+        # (e.g. by another client's replica read) after the invalidation.
+        stale = VersionedValue(value={"user_id": "u1", "bio": "old"},
+                               timestamp=0.0, version=1)
+        engine.cache.store.put_entity(namespace, ("u1",), stale,
+                                      engine.now, ttl=BOUND)
+        # A session without guarantees is served the cached value — the
+        # bypass below is per-session, not an invalidation.
+        other = engine.get("profiles", ("u1",), session_id="other")
+        assert other.row["bio"] == "old"
+        outcome = engine.get("profiles", ("u1",), session_id="w")
+        assert outcome.row["bio"] == "new"
+        assert engine.cache.session_bypasses == 1
+        # The bypassed read read through the cluster, refreshing the entry.
+        refreshed = engine.cache.store.peek(entity_token(namespace, ("u1",)))
+        assert refreshed is not None and refreshed.value.value["bio"] == "new"
+
+    def test_monitor_measures_hit_rate_and_planner_discounts_demand(self):
+        engine = make_engine()
+        engine.put("profiles", {"user_id": "u1", "bio": "hi"})
+        engine.settle(1.0)
+        for _ in range(50):
+            engine.get("profiles", ("u1",))
+        observation = engine.monitor.close_window(engine.now + 30.0)
+        assert observation.cache_hit_rate > 0.5
+        slas = engine.slas
+        busy = engine.planner.plan(forecast_rate=20_000.0, write_fraction=0.1,
+                                   slas=slas, spec=engine.spec)
+        absorbed = engine.planner.plan(forecast_rate=20_000.0, write_fraction=0.1,
+                                       slas=slas, spec=engine.spec,
+                                       cache_hit_rate=0.9)
+        assert absorbed.target_nodes < busy.target_nodes
+        assert absorbed.cache_absorbed_fraction == pytest.approx(0.9)
+        assert "cache absorbing" in absorbed.reason
+
+
+class TestStalenessEdgeCases:
+    def test_replica_two_versions_behind_is_never_admitted(self):
+        """A replica that missed two writes has unknowable true staleness
+        (the intermediate version's commit time is gone from the primary);
+        such reads serve but must not be cached."""
+        engine = make_engine()
+        namespace = entity_namespace("profiles")
+        engine.put("profiles", {"user_id": "u1", "bio": "v1"})
+        engine.settle(2.0)  # replicas converge on version 1
+        group = engine.cluster.group_for_key(namespace, ("u1",))
+        primary = engine.cluster.nodes[group.primary]
+        # Advance the primary two versions without replicating, so replicas
+        # stay at version 1 while the primary is at version 3.
+        for version in (2, 3):
+            primary.put(namespace, ("u1",), VersionedValue(
+                value={"user_id": "u1", "bio": f"v{version}"},
+                timestamp=engine.now, version=version), engine.now)
+        saw_replica_read = False
+        for _ in range(64):
+            value, _, success, _, _, freshness = engine._consistent_read(
+                namespace, ("u1",), None)
+            assert success
+            if value.version == 1:  # served by a lagging replica
+                saw_replica_read = True
+                assert freshness is None, \
+                    "a >=2-version gap must be reported as unverified"
+            else:
+                assert value.version == 3 and freshness == pytest.approx(0.0)
+        assert saw_replica_read
+        # And the read path must therefore never have admitted version 1.
+        entry = engine.cache.store.peek(entity_token(namespace, ("u1",)))
+        assert entry is None or entry.value.version == 3
+
+    def test_one_version_behind_carries_the_supersede_age(self):
+        engine = make_engine()
+        namespace = entity_namespace("profiles")
+        engine.put("profiles", {"user_id": "u1", "bio": "v1"})
+        engine.settle(2.0)
+        group = engine.cluster.group_for_key(namespace, ("u1",))
+        primary = engine.cluster.nodes[group.primary]
+        primary.put(namespace, ("u1",), VersionedValue(
+            value={"user_id": "u1", "bio": "v2"},
+            timestamp=engine.now, version=2), engine.now)
+        engine.run_for(3.0)  # version 1 has now been superseded for 3 seconds
+        for _ in range(64):
+            value, _, success, _, _, freshness = engine._consistent_read(
+                namespace, ("u1",), None)
+            assert success
+            if value.version == 1:
+                assert freshness == pytest.approx(3.0, abs=0.01)
+                return
+        pytest.fail("no replica read observed in 64 attempts")
+
+    def test_range_cache_fills_read_the_primary(self):
+        """Cached scans must come from the primary: apply-time invalidation
+        has already fired for writes a lagging replica may still miss."""
+        engine = make_engine()
+        engine.register_query(
+            "profile_of", "SELECT * FROM profiles WHERE user_id = <uid> LIMIT 5")
+        engine.put("profiles", {"user_id": "u1", "bio": "v1"})
+        engine.settle(1.0)
+        seen = []
+        original = engine.router.read_range
+
+        def spy(key_range, limit=None, from_primary=False, reverse=False):
+            seen.append(from_primary)
+            return original(key_range, limit=limit, from_primary=from_primary,
+                            reverse=reverse)
+
+        engine.router.read_range = spy
+        engine.query("profile_of", {"uid": "u1"})  # miss -> primary fill
+        assert seen == [True]
+        engine.query("profile_of", {"uid": "u1"})  # hit -> no router call
+        assert seen == [True]
+
+
+# ------------------------------------------------- the staleness-bound property
+
+
+def _staleness_violations(ops, bound: float = BOUND) -> list:
+    """Drive an engine through ``ops`` and return every bound violation.
+
+    An external write history (per-key sequence numbers embedded in the row)
+    is the oracle: a read returning sequence ``s`` while a later write with
+    sequence ``s' > s`` has been committed for longer than the bound is a
+    violation, no matter which tier served it.
+    """
+    engine = make_engine(staleness_bound=bound, seed=11)
+    users = [f"u{i}" for i in range(4)]
+    history = {u: [] for u in users}  # per key: [(seq, commit_time), ...]
+    sequence = {u: 0 for u in users}
+    violations = []
+    for kind, index, delay in ops:
+        user = users[index]
+        if kind == "put":
+            sequence[user] += 1
+            outcome = engine.put("profiles", {
+                "user_id": user, "bio": f"seq{sequence[user]:04d}",
+            })
+            if outcome.success:
+                history[user].append((sequence[user], engine.now))
+        else:
+            outcome = engine.get("profiles", (user,))
+            if outcome.success and outcome.row is not None:
+                seen = int(outcome.row["bio"][3:])
+                for seq, committed_at in history[user]:
+                    if seq > seen and engine.now - committed_at > bound + 1e-6:
+                        violations.append((user, seen, seq, engine.now - committed_at))
+        engine.run_for(delay)
+    return violations
+
+
+@pytest.mark.property
+@given(st.lists(
+    st.tuples(
+        st.sampled_from(["put", "get"]),
+        st.integers(min_value=0, max_value=3),
+        st.floats(min_value=0.0, max_value=3.0,
+                  allow_nan=False, allow_infinity=False),
+    ),
+    min_size=5, max_size=40,
+))
+def test_no_cached_read_ever_exceeds_the_declared_bound(ops):
+    assert _staleness_violations(ops) == []

@@ -9,6 +9,8 @@ from repro.cloud.instances import INSTANCE_TYPES, Instance, InstanceState, Insta
 from repro.cloud.pool import InstancePool
 from repro.sim.simulator import Simulator
 
+pytestmark = pytest.mark.tier1
+
 
 class TestInstanceType:
     def test_catalog_contains_small_instances(self):

@@ -19,6 +19,8 @@ from repro.core.consistency.spec import (
 from repro.core.consistency.writes import ConflictResolver
 from repro.storage.records import VersionedValue
 
+pytestmark = pytest.mark.tier1
+
 
 class TestSpecAxes:
     def test_performance_sla_describe(self):

@@ -21,6 +21,8 @@ from repro.core.query.analyzer import QueryRejected
 from repro.core.schema import EntitySchema, Field, FieldType
 from repro.storage.failure import FailureInjector
 
+pytestmark = pytest.mark.tier1
+
 
 def simple_engine(**kwargs) -> Scads:
     defaults = dict(seed=3, initial_groups=2, autoscale=False)

@@ -12,6 +12,8 @@ import sys
 
 import pytest
 
+pytestmark = pytest.mark.tier1
+
 EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
 SRC_DIR = os.path.join(os.path.dirname(__file__), "..", "src")
 

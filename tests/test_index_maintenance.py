@@ -21,6 +21,8 @@ from repro.core.query.parser import parse_query
 from repro.core.schema import EntitySchema, Field, FieldType, SchemaRegistry
 from repro.sim.simulator import Simulator
 
+pytestmark = pytest.mark.tier1
+
 FRIEND_CAP = 100
 
 

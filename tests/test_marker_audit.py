@@ -1,0 +1,37 @@
+"""Tier-marker audit: every test module must declare its tier.
+
+``make test`` (tier-1, what CI gates on) runs everything not marked ``slow``;
+a new test file that forgets to declare a tier still runs, but silently —
+nothing says whether that was a choice.  This audit turns the convention into
+a failure: every module under ``tests/`` must carry a module-level
+``pytestmark`` naming at least one of the registered tiers, so new suites
+(e.g. the cache tier's) land in the default suite deliberately.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+pytestmark = pytest.mark.tier1
+
+TIER_MARKERS = ("tier1", "slow", "property")
+
+
+def test_every_test_module_declares_a_tier():
+    tests_dir = Path(__file__).parent
+    offenders = []
+    for path in sorted(tests_dir.glob("test_*.py")):
+        source = path.read_text(encoding="utf-8")
+        has_pytestmark = re.search(r"^pytestmark\s*=", source, re.MULTILINE)
+        names_a_tier = any(
+            re.search(rf"pytest\.mark\.{marker}\b", source) for marker in TIER_MARKERS
+        )
+        if not (has_pytestmark and names_a_tier):
+            offenders.append(path.name)
+    assert not offenders, (
+        "test modules without a module-level tier marker "
+        f"(add `pytestmark = pytest.mark.tier1` or mark slow/property): {offenders}"
+    )

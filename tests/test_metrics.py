@@ -12,6 +12,8 @@ from repro.metrics.percentiles import LatencyRecorder, PercentileEstimator
 from repro.metrics.sla import SLATracker
 from repro.metrics.timeseries import TimeSeries, TimeSeriesRecorder
 
+pytestmark = pytest.mark.tier1
+
 
 class TestPercentileEstimator:
     def test_percentile_of_known_values(self):

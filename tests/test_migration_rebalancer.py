@@ -533,3 +533,131 @@ class TestControllerRepartitionBranch:
             spec=engine.spec, mean_utilisation=0.7, max_utilisation=0.9)
         assert not result.repartition_candidate, \
             "uniformly hot clusters need capacity, not repartitioning"
+
+
+# ---------------------------------------------- migration-aware key accounting
+
+
+class TestMigrationAwareAccounting:
+    def test_total_keys_does_not_double_count_in_flight_copies(self):
+        cluster, router = make_range_cluster(rate=10.0)  # long in-flight window
+        load_keys(router, 40)
+        cluster.sim.run_until(cluster.sim.now + 5.0)
+        assert cluster.total_keys() == 40
+        cluster.split_partition("u020")
+        record = cluster.migrate_partition("u020", "group-1")
+        assert cluster.active_migrations() == [record]
+        # Source and target primaries both hold the 20 moved keys, but each
+        # logical key must be billed exactly once.
+        source_primary = cluster.nodes[cluster.groups["group-0"].primary]
+        target_primary = cluster.nodes[cluster.groups["group-1"].primary]
+        assert source_primary.key_count() + target_primary.key_count() == 60
+        assert cluster.total_keys() == 40
+        cluster.sim.run_until(record.end_time + 1.0)
+        assert record.completed
+        assert cluster.total_keys() == 40
+
+    def test_total_keys_counts_writes_during_the_in_flight_window_once(self):
+        cluster, router = make_range_cluster(rate=10.0)
+        load_keys(router, 40)
+        cluster.sim.run_until(cluster.sim.now + 5.0)
+        cluster.split_partition("u020")
+        cluster.migrate_partition("u020", "group-1")
+        # A brand-new key written mid-migration lands at the new owner and is
+        # mirrored to the source (dual-routing); still one logical key.
+        assert router.write("ns", ("u025x",), {"v": "new"}).success
+        assert cluster.total_keys() == 41
+
+
+# ------------------------------------------------- post-recovery reconciliation
+
+
+class TestRecoveryReconciliation:
+    def test_recovered_migration_source_reclaims_stale_copies(self):
+        from repro.storage.failure import FailureInjector
+
+        cluster, router = make_range_cluster(rate=10.0)
+        injector = FailureInjector(cluster)
+        load_keys(router, 40)
+        cluster.sim.run_until(cluster.sim.now + 5.0)
+        cluster.split_partition("u020")
+        record = cluster.migrate_partition("u020", "group-1")
+        # Crash the whole source group mid-flight; recover it well after the
+        # transfer completes, so completion-time reclamation skipped it.
+        recovery_at = record.end_time + 20.0
+        for node_id in cluster.groups["group-0"].node_ids:
+            injector.crash_node(node_id, at=cluster.sim.now + 0.1,
+                                duration=recovery_at - cluster.sim.now)
+        cluster.sim.run_until(cluster.sim.now + 1.0)
+        assert not record.completed
+        assert cluster.total_keys() == 40, \
+            "in-flight accounting must hold even with the source primary down"
+        cluster.sim.run_until(record.end_time + 5.0)
+        assert record.completed
+        source_primary = cluster.nodes[cluster.groups["group-0"].primary]
+        assert source_primary.key_count() == 40, \
+            "a crashed source keeps its stale copies at completion"
+        cluster.sim.run_until(recovery_at + 5.0)
+        assert source_primary.alive
+        assert source_primary.key_count() == 20, \
+            "recovery reconciliation reclaims the stale copies"
+        assert cluster.reconciled_keys_total >= 20
+        assert cluster.total_keys() == 40
+        # The moved keys are still served by the new owner.
+        read = router.read("ns", ("u030",), from_primary=True)
+        assert read.success and read.value.value == {"v": "u030"}
+
+    def test_reconciliation_spares_in_flight_sources_and_owned_keys(self):
+        from repro.storage.failure import FailureInjector
+
+        cluster, router = make_range_cluster(rate=1.0)  # very long transfer
+        load_keys(router, 40)
+        cluster.sim.run_until(cluster.sim.now + 5.0)
+        cluster.split_partition("u020")
+        record = cluster.migrate_partition("u020", "group-1")
+        assert not record.completed
+        source_primary = cluster.nodes[cluster.groups["group-0"].primary]
+        # Reconciling mid-flight must not touch the dual-routed source copies.
+        assert cluster.reconcile_node(source_primary.node_id) == 0
+        assert source_primary.key_count() == 40
+        # A recovery while the migration is still in flight is equally safe.
+        injector = FailureInjector(cluster)
+        injector.crash_node(source_primary.node_id, at=cluster.sim.now + 0.1,
+                            duration=1.0)
+        cluster.sim.run_until(cluster.sim.now + 3.0)
+        assert source_primary.alive
+        assert source_primary.key_count() == 40
+
+
+# ------------------------------------------- tracker-fed SLAMonitor feature
+
+
+class TestTrackerFedMonitorFeature:
+    def test_mean_utilisation_feature_uses_decayed_count_inversion(self):
+        engine = Scads(seed=2, autoscale=False, partitioner_kind="range",
+                       repartition=True, initial_groups=2)
+        engine.register_entity(EntitySchema(
+            "profiles", key_fields=[Field("user_id")], value_fields=[Field("bio")],
+        ))
+        engine.start()
+        engine.put("profiles", {"user_id": "u1", "bio": "x"})
+        engine.settle(1.0)
+        tracker = engine.rebalancer.tracker
+        for _ in range(200):
+            tracker.note("u1", False, engine.now)
+        observation = engine.monitor.close_window(engine.now + 30.0)
+        expected = (tracker.rate_estimate()
+                    / engine.cluster.stats().total_capacity_ops)
+        assert observation.features.mean_utilisation == pytest.approx(expected, rel=0.05)
+
+    def test_without_rebalancer_the_ewma_mean_is_kept(self):
+        engine = Scads(seed=2, autoscale=False, initial_groups=2)
+        engine.register_entity(EntitySchema(
+            "profiles", key_fields=[Field("user_id")], value_fields=[Field("bio")],
+        ))
+        engine.start()
+        engine.put("profiles", {"user_id": "u1", "bio": "x"})
+        engine.settle(1.0)
+        observation = engine.monitor.close_window(engine.now + 30.0)
+        assert observation.features.mean_utilisation == pytest.approx(
+            engine.cluster.stats().mean_utilisation, rel=0.2)

@@ -19,6 +19,8 @@ from repro.ml.regression import (
     RidgeRegressionModel,
 )
 
+pytestmark = pytest.mark.tier1
+
 
 class TestFeatures:
     def test_extractor_derives_per_node_rate(self):

@@ -9,6 +9,8 @@ from repro.core.provisioning.planner import CapacityPlanner
 from repro.ml.performance_model import LatencyPercentileModel, PropagationLagModel
 from repro.workloads.traces import AnimotoViralTrace, ConstantTrace, DiurnalTrace
 
+pytestmark = pytest.mark.tier1
+
 
 def make_planner(**kwargs):
     latency_model = LatencyPercentileModel(node_capacity_ops=1000.0)

@@ -12,6 +12,8 @@ from repro.core.query.lexer import LexError, TokenType, tokenize
 from repro.core.query.parser import ParseError, parse_query
 from repro.core.schema import EntitySchema, Field, FieldType, SchemaRegistry
 
+pytestmark = pytest.mark.tier1
+
 FRIEND_CAP = 5000
 
 

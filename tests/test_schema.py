@@ -13,6 +13,8 @@ from repro.core.schema import (
     SchemaRegistry,
 )
 
+pytestmark = pytest.mark.tier1
+
 
 def profiles_schema():
     return EntitySchema(

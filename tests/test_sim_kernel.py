@@ -29,6 +29,8 @@ from repro.sim.randomness import (
 )
 from repro.sim.simulator import Simulator
 
+pytestmark = pytest.mark.tier1
+
 
 # ---------------------------------------------------------------------- clock
 

@@ -7,6 +7,8 @@ import pytest
 from repro import Scads
 from repro.apps.social_network import SocialNetworkApp
 
+pytestmark = pytest.mark.tier1
+
 
 @pytest.fixture()
 def app() -> SocialNetworkApp:

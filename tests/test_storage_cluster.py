@@ -20,6 +20,8 @@ from repro.storage.partitioner import (
 from repro.storage.records import KeyRange, prefix_range
 from repro.storage.router import Router
 
+pytestmark = pytest.mark.tier1
+
 
 def make_cluster(groups=2, replication=3, seed=0, **kwargs):
     sim = Simulator(seed=seed)

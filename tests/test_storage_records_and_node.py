@@ -16,6 +16,8 @@ from repro.storage.records import (
     validate_key,
 )
 
+pytestmark = pytest.mark.tier1
+
 
 def make_node(node_id="n1", capacity=1000.0, seed=0):
     return StorageNode(node_id, np.random.default_rng(seed), capacity_ops_per_sec=capacity)

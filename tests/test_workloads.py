@@ -25,6 +25,8 @@ from repro.workloads.traces import (
     StepTrace,
 )
 
+pytestmark = pytest.mark.tier1
+
 
 def make_graph(n=100, cap=20, mean=5.0, seed=0):
     return SocialGraph(n, np.random.default_rng(seed), max_friends=cap, mean_friends=mean)
