@@ -6,10 +6,12 @@
 #   make bench-smoke - every benchmark in fast smoke mode (BENCH_SMOKE=1:
 #                      shortened workloads, relative-economics assertions
 #                      skipped) — a cheap crash/regression sweep
+#   make perf        - simulator-throughput harness; appends an entry to
+#                      BENCH_PERF.json (see PERFORMANCE.md)
 
 PYTEST := python -m pytest
 
-.PHONY: test test-all property bench bench-smoke
+.PHONY: test test-all property bench bench-smoke perf
 
 test:
 	$(PYTEST) -x -q
@@ -27,3 +29,6 @@ bench:
 
 bench-smoke:
 	BENCH_SMOKE=1 $(PYTEST) benchmarks/bench_*.py -q -s
+
+perf:
+	BENCH_PERF_RECORD=1 $(PYTEST) benchmarks/bench_perf_throughput.py -q -s

@@ -1,0 +1,178 @@
+"""Perf — simulator throughput on the standard closed-loop scenario.
+
+Every experiment in this repository is a closed-loop simulation, so simulator
+throughput (simulated operations per wall-clock second) bounds the scenario
+scale we can afford: more users, longer traces, more seeds per benchmark.
+This harness pins down two numbers and records their trajectory in
+``BENCH_PERF.json`` so each future PR can see what it did to them:
+
+* **scenario ops/wall-sec** — a fixed Zipf closed-loop scenario (point reads
+  and writes through the full engine stack: router, partitioner, replication,
+  SLA accounting, provisioning loop) divided by the wall time it took.
+* **event-queue events/wall-sec** — a bare push/pop microbench of the
+  discrete-event kernel, isolating ``Event``/``EventQueue`` overhead from the
+  request path.
+
+Run it via ``make perf`` (full scenario; sets ``BENCH_PERF_RECORD=1`` to
+append to ``BENCH_PERF.json`` and assert the speedup) or as part of
+``make bench`` / ``make bench-smoke``, where it only reports (never dirties
+the committed trajectory or fails on unrelated hardware).  The committed
+baseline entry (``pre-PR4-baseline``) was measured immediately before the
+hot-path overhaul landed; the assertion checks the overhaul's >= 3x claim
+against it on comparable hardware and can be disabled with
+``BENCH_PERF_NO_ASSERT=1`` (e.g. on a much slower machine, where an absolute
+comparison against committed numbers is meaningless).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.experiments.harness import build_engine_and_app, smoke_scaled, smoke_mode
+from repro.sim.simulator import Simulator
+from repro.workloads.generator import LoadGenerator
+from repro.workloads.opmix import CloudStoneMix
+from repro.workloads.traces import ConstantTrace
+
+BENCH_PERF_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_PERF.json")
+
+# The standard closed-loop scenario: the repository's own experiment-harness
+# path (social-network app, CloudStone mix, trace-driven load generator,
+# autoscaling engine) at a flat offered rate.  This is the request loop every
+# paper experiment (E1/E5/E6, fig1/fig2) drives; its simulated-ops-per-wall-
+# second is what bounds scenario scale.  Parameters are frozen — changing
+# them invalidates the trajectory in BENCH_PERF.json.
+N_USERS = 300
+RATE = 300.0            # offered ops/sec (CloudStone default ~90/10 read mix)
+DURATION = smoke_scaled(1200.0, 20.0)
+CONTROL_INTERVAL = 30.0
+SEED = 11
+
+EVENT_QUEUE_EVENTS = int(smoke_scaled(300_000, 20_000))
+SPEEDUP_TARGET = 3.0
+
+
+def run_scenario() -> dict:
+    """One closed-loop run; returns simulated-op and wall-clock counts.
+
+    Setup (graph bulk load) is excluded from the timed section; the clock
+    runs only while the simulator processes the ``DURATION`` seconds of
+    closed-loop traffic.
+    """
+    engine, app, graph = build_engine_and_app(
+        seed=SEED,
+        n_users=N_USERS,
+        autoscale=True,
+        predictive_scaling=False,
+        initial_groups=4,
+        control_interval=CONTROL_INTERVAL,
+    )
+    engine.start()
+    mix = CloudStoneMix(graph, engine.sim.random.get("workload-mix"))
+    generator = LoadGenerator(engine.sim, ConstantTrace(rate=RATE), mix, app.execute)
+    events_before = engine.sim.processed_events
+    generator.start()
+    start = time.perf_counter()
+    engine.run_for(DURATION)
+    wall = time.perf_counter() - start
+    generator.stop()
+    return {
+        "ops": generator.stats.operations_issued,
+        "events": engine.sim.processed_events - events_before,
+        "wall_seconds": round(wall, 3),
+        "ops_per_wall_sec": round(generator.stats.operations_issued / wall, 1),
+    }
+
+
+def run_event_queue_microbench() -> dict:
+    """Push/pop throughput of the bare discrete-event kernel.
+
+    A self-rescheduling chain of no-op events, the same shape as the load
+    generators and periodic loops that dominate the queue in real scenarios.
+    """
+    sim = Simulator(seed=0)
+    remaining = {"n": EVENT_QUEUE_EVENTS}
+
+    def tick() -> None:
+        remaining["n"] -= 1
+        if remaining["n"] > 0:
+            sim.schedule(0.001, tick, name="tick")
+
+    # Four concurrent chains so the heap holds more than one live event.
+    for _ in range(4):
+        sim.schedule(0.001, tick, name="tick")
+    start = time.perf_counter()
+    sim.run(max_events=EVENT_QUEUE_EVENTS + 8)
+    wall = time.perf_counter() - start
+    events = sim.processed_events
+    return {
+        "events": events,
+        "wall_seconds": round(wall, 3),
+        "events_per_wall_sec": round(events / wall, 0),
+    }
+
+
+def _load_trajectory() -> list:
+    if not os.path.exists(BENCH_PERF_PATH):
+        return []
+    with open(BENCH_PERF_PATH) as fh:
+        return json.load(fh)
+
+
+def _append_trajectory(entry: dict) -> None:
+    trajectory = _load_trajectory()
+    trajectory.append(entry)
+    with open(BENCH_PERF_PATH, "w") as fh:
+        json.dump(trajectory, fh, indent=2)
+        fh.write("\n")
+
+
+def _baseline_entry(trajectory: list) -> dict | None:
+    for entry in trajectory:
+        if entry.get("label") == "pre-PR4-baseline":
+            return entry
+    return None
+
+
+def test_perf_throughput(table_printer):
+    scenario = run_scenario()
+    event_queue = run_event_queue_microbench()
+    table_printer(
+        "Perf: simulator throughput",
+        ["metric", "count", "wall s", "per wall-sec"],
+        [
+            ["scenario ops", scenario["ops"], scenario["wall_seconds"],
+             scenario["ops_per_wall_sec"]],
+            ["event queue", event_queue["events"], event_queue["wall_seconds"],
+             int(event_queue["events_per_wall_sec"])],
+        ],
+    )
+    if smoke_mode():
+        return  # shortened scenario: numbers are noise; no recording, no assertion
+    baseline = _baseline_entry(_load_trajectory())
+    if baseline is not None:
+        speedup = scenario["ops_per_wall_sec"] / baseline["scenario"]["ops_per_wall_sec"]
+        print(f"speedup vs pre-PR4-baseline: {speedup:.2f}x "
+              f"(target >= {SPEEDUP_TARGET:.1f}x)")
+    # Recording and the speedup assertion are opt-in (`make perf` sets
+    # BENCH_PERF_RECORD=1): the bench_*.py glob also pulls this file into
+    # `make bench`, which must neither dirty the committed trajectory nor
+    # fail on hardware slower than the machine the baseline was recorded on.
+    if os.environ.get("BENCH_PERF_RECORD", "") in ("", "0"):
+        return
+    label = os.environ.get("BENCH_PERF_LABEL", "run")
+    _append_trajectory({
+        "label": label,
+        "scenario": scenario,
+        "event_queue": event_queue,
+    })
+    if (baseline is None or label == "pre-PR4-baseline"
+            or os.environ.get("BENCH_PERF_NO_ASSERT", "") not in ("", "0")):
+        return
+    assert speedup >= SPEEDUP_TARGET, (
+        f"hot-path speedup regressed: {speedup:.2f}x vs the pre-PR4 baseline "
+        f"(need >= {SPEEDUP_TARGET}x; set BENCH_PERF_NO_ASSERT=1 on "
+        "non-comparable hardware)"
+    )

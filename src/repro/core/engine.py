@@ -62,8 +62,8 @@ adjacent ranges are re-merged in quiet windows.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple, Union
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.cache.tier import CacheConfig, CacheTier
 from repro.cloud.instances import INSTANCE_TYPES, InstanceType
@@ -104,14 +104,18 @@ from repro.storage.records import Key, KeyRange, prefix_range
 from repro.storage.router import RequestResult, Router
 
 
-@dataclass
+@dataclass(slots=True)
 class OperationOutcome:
-    """What one engine-level operation returned and what it cost."""
+    """What one engine-level operation returned and what it cost.
+
+    ``rows`` defaults to a shared empty tuple — one outcome is allocated per
+    client operation, and only multi-row reads carry rows.
+    """
 
     success: bool
     latency: float
     row: Optional[Dict[str, Any]] = None
-    rows: List[Dict[str, Any]] = field(default_factory=list)
+    rows: Sequence[Dict[str, Any]] = ()
     stale: bool = False
     error: Optional[str] = None
 
@@ -497,17 +501,19 @@ class Scads:
         """
         namespace = entity_namespace(entity)
         session = self.sessions.get(session_id) if session_id is not None else None
-        served = self._cached_entity_read(namespace, key, session)
-        if served is not None:
-            row, latency = served
-            self._record_op("read", latency, True)
-            return OperationOutcome(success=True, latency=latency, row=row)
+        if self.cache is not None:
+            served = self._cached_entity_read(namespace, key, session)
+            if served is not None:
+                row, latency = served
+                self._record_op("read", latency, True)
+                return OperationOutcome(success=True, latency=latency, row=row)
         value, latency, success, stale, error, freshness = self._consistent_read(
             namespace, key, session)
         self._record_op("read", latency, success)
         if not success:
             return OperationOutcome(success=False, latency=latency, error=error, stale=stale)
-        self._admit_entity_read(namespace, key, value, stale, freshness)
+        if self.cache is not None:
+            self._admit_entity_read(namespace, key, value, stale, freshness)
         row = dict(value.value) if value is not None and isinstance(value.value, dict) else None
         return OperationOutcome(success=True, latency=latency, row=row, stale=stale)
 
@@ -614,14 +620,27 @@ class Scads:
         known_staleness: Optional[float] = None
 
         group = self.cluster.group_for_key(namespace, key)
-        primary_reachable = self.cluster.network.is_reachable("client", group.primary)
+        primary_id = group.primary
+        # Fast path: a read served by the owning primary is verified current
+        # by construction — the staleness peek below would compare the
+        # primary's value to itself (and the successful hop implies the
+        # primary is reachable).  Sessions still run their guarantee checks:
+        # a migration-window write can leave a session ahead of the current
+        # owner's primary, and the re-read below dual-routes to catch that.
+        served_by_primary = result.node_id == primary_id
+        if session is None and served_by_primary:
+            return value, latency, True, False, None, 0.0
+        primary_reachable = served_by_primary or self.cluster.network.is_reachable(
+            "client", primary_id)
 
         needs_primary = False
         # Staleness bound: if the primary holds a newer version that has been
         # committed for longer than the declared bound, the replica value is
         # too stale to serve.
-        if primary_reachable:
-            primary_node = self.cluster.nodes.get(group.primary)
+        if served_by_primary:
+            known_staleness = 0.0
+        elif primary_reachable:
+            primary_node = self.cluster.nodes.get(primary_id)
             if primary_node is not None and primary_node.alive:
                 try:
                     primary_value = primary_node.peek(namespace, key)

@@ -39,11 +39,16 @@ class Field:
     name: str
     field_type: FieldType = FieldType.STRING
 
+    def __post_init__(self) -> None:
+        # Accepted types are fixed per field; cache the tuple so per-row
+        # validation does not re-derive it (frozen dataclass, hence setattr).
+        object.__setattr__(self, "_accepted_types", self.field_type.python_types())
+
     def validate(self, value: Any) -> None:
         """Check a value against the field type (None is allowed for non-key fields)."""
         if value is None:
             return
-        if isinstance(value, bool) or not isinstance(value, self.field_type.python_types()):
+        if isinstance(value, bool) or not isinstance(value, self._accepted_types):
             raise SchemaError(
                 f"field {self.name!r} expects {self.field_type.value}, "
                 f"got {type(value).__name__}: {value!r}"
@@ -111,12 +116,19 @@ class EntitySchema:
                 )
             if bound < 1:
                 raise SchemaError(f"column bound for {column!r} must be >= 1, got {bound}")
+        # Per-row validation runs on every put; cache the name→field map so
+        # field lookups are dict hits instead of rebuilding name lists.
+        # (Field lists must not be mutated after construction.)
+        self._fields_by_name: Dict[str, Field] = {
+            f.name: f for f in self.key_fields + self.value_fields
+        }
+        self._key_field_names: List[str] = [f.name for f in self.key_fields]
 
     # ------------------------------------------------------------------ lookup
 
     @property
     def key_field_names(self) -> List[str]:
-        return [f.name for f in self.key_fields]
+        return list(self._key_field_names)
 
     @property
     def value_field_names(self) -> List[str]:
@@ -124,19 +136,19 @@ class EntitySchema:
 
     @property
     def field_names(self) -> List[str]:
-        return self.key_field_names + self.value_field_names
+        return list(self._fields_by_name)
 
     def field_by_name(self, name: str) -> Field:
-        for f in self.key_fields + self.value_fields:
-            if f.name == name:
-                return f
-        raise SchemaError(f"entity {self.name!r} has no field {name!r}")
+        field_ = self._fields_by_name.get(name)
+        if field_ is None:
+            raise SchemaError(f"entity {self.name!r} has no field {name!r}")
+        return field_
 
     def has_field(self, name: str) -> bool:
-        return name in self.field_names
+        return name in self._fields_by_name
 
     def is_key_field(self, name: str) -> bool:
-        return name in self.key_field_names
+        return name in self._key_field_names
 
     def key_position(self, name: str) -> int:
         """Position of a field within the primary key (raises if not a key field)."""
@@ -177,10 +189,12 @@ class EntitySchema:
     def validate_row(self, row: Dict[str, Any]) -> None:
         """Validate a full row: key present and typed, no unknown fields."""
         self.storage_key(row)
+        fields_by_name = self._fields_by_name
         for name, value in row.items():
-            if not self.has_field(name):
+            field_ = fields_by_name.get(name)
+            if field_ is None:
                 raise SchemaError(f"entity {self.name!r} has no field {name!r}")
-            self.field_by_name(name).validate(value)
+            field_.validate(value)
 
     def value_dict(self, row: Dict[str, Any]) -> Dict[str, Any]:
         """The non-key portion of a row (missing fields become None)."""

@@ -4,87 +4,151 @@ The SLAs in the paper are expressed over high percentiles (99.9th), so the
 recorder keeps exact samples within a window rather than a lossy sketch; the
 simulated request volumes make this affordable, and it removes sketch error
 as a confound when we report SLA attainment.
+
+Storage is an *append buffer plus an incrementally merged sorted array*: new
+samples land in a plain list (O(1) per request — the hot path), and the
+first percentile query after a batch of appends merge-sorts only the new
+samples into the cached sorted array (``searchsorted`` + one ``insert``
+pass, O(history + new·log new)).  The all-time estimators in long
+closed-loop runs are queried every control window; a full re-sort of the
+entire history there is what used to make long runs quadratic.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 import numpy as np
+
+_EMPTY = np.empty(0)
 
 
 class PercentileEstimator:
     """Collects samples and answers percentile queries over them."""
 
+    __slots__ = ("_pending", "_sorted", "_sum", "_max")
+
     def __init__(self) -> None:
-        self._samples: List[float] = []
-        self._sorted_cache: Optional[np.ndarray] = None
+        self._pending: List[float] = []
+        self._sorted: np.ndarray = _EMPTY
+        self._sum = 0.0
+        self._max = 0.0
 
     def __len__(self) -> int:
-        return len(self._samples)
+        return len(self._pending) + self._sorted.shape[0]
 
     def add(self, value: float) -> None:
         """Record one sample (e.g. one request latency in seconds)."""
         if value < 0:
             raise ValueError(f"samples must be non-negative, got {value}")
-        self._samples.append(float(value))
-        self._sorted_cache = None
+        value = float(value)
+        self._pending.append(value)
+        self._sum += value
+        if value > self._max:
+            self._max = value
 
     def extend(self, values) -> None:
-        """Record many samples at once."""
-        for value in values:
-            self.add(value)
+        """Record many samples at once (vectorized validation and append)."""
+        arr = np.asarray(values if isinstance(values, np.ndarray) else list(values),
+                         dtype=float)
+        if arr.size == 0:
+            return
+        if np.any(arr < 0):
+            raise ValueError("samples must be non-negative")
+        self._pending.extend(arr.tolist())
+        self._sum += float(arr.sum())
+        self._max = max(self._max, float(arr.max()))
+
+    def _merged(self) -> np.ndarray:
+        """The sorted sample array, merging any pending appends in.
+
+        Pending samples are sorted on their own and merge-inserted at their
+        ``searchsorted`` positions, so the cost is linear in the history
+        rather than ``O(n log n)`` over it.
+        """
+        if self._pending:
+            fresh = np.sort(np.asarray(self._pending))
+            base = self._sorted
+            if base.shape[0] == 0:
+                self._sorted = fresh
+            else:
+                self._sorted = np.insert(base, np.searchsorted(base, fresh), fresh)
+            self._pending.clear()
+        if self._sorted.shape[0] == 0:
+            raise ValueError("no samples recorded")
+        return self._sorted
+
+    @staticmethod
+    def _percentile_of_sorted(arr: np.ndarray, p: float) -> float:
+        """Linear-interpolated percentile of an already-sorted array.
+
+        Matches ``np.percentile(arr, p)`` (default 'linear' method) without
+        re-partitioning the array per call.
+        """
+        rank = (arr.shape[0] - 1) * (p / 100.0)
+        lo = int(rank)
+        hi = min(lo + 1, arr.shape[0] - 1)
+        lo_value = float(arr[lo])
+        return lo_value + (float(arr[hi]) - lo_value) * (rank - lo)
 
     def percentile(self, p: float) -> float:
         """Return the ``p``-th percentile (0 < p <= 100) of recorded samples."""
-        if not self._samples:
+        if not len(self):
             raise ValueError("no samples recorded")
         if not 0.0 < p <= 100.0:
             raise ValueError(f"percentile must be in (0, 100], got {p}")
-        if self._sorted_cache is None:
-            self._sorted_cache = np.sort(np.asarray(self._samples))
-        return float(np.percentile(self._sorted_cache, p))
+        return self._percentile_of_sorted(self._merged(), p)
 
     def mean(self) -> float:
         """Mean of recorded samples."""
-        if not self._samples:
+        count = len(self)
+        if not count:
             raise ValueError("no samples recorded")
-        return float(np.mean(self._samples))
+        return self._sum / count
 
     def max(self) -> float:
         """Maximum recorded sample."""
-        if not self._samples:
+        if not len(self):
             raise ValueError("no samples recorded")
-        return float(np.max(self._samples))
+        return self._max
 
     def fraction_below(self, threshold: float) -> float:
         """Fraction of samples strictly below ``threshold``.
 
         This is the quantity an SLA like "99.9 % of requests under 100 ms"
-        asks about.
+        asks about.  Answered with one ``searchsorted`` against the sorted
+        cache instead of materialising the full history per call.
         """
-        if not self._samples:
+        if not len(self):
             raise ValueError("no samples recorded")
-        arr = np.asarray(self._samples)
-        return float(np.mean(arr < threshold))
+        arr = self._merged()
+        return float(np.searchsorted(arr, threshold, side="left")) / arr.shape[0]
 
     def reset(self) -> None:
         """Drop all recorded samples."""
-        self._samples.clear()
-        self._sorted_cache = None
+        self._pending.clear()
+        self._sorted = _EMPTY
+        self._sum = 0.0
+        self._max = 0.0
 
     def snapshot(self) -> Dict[str, float]:
-        """Common summary statistics in one dictionary."""
-        if not self._samples:
+        """Common summary statistics in one dictionary.
+
+        One merge, then every percentile reads the same sorted array — the
+        cost per control window is O(new samples), not O(all history · log).
+        """
+        count = len(self)
+        if not count:
             return {"count": 0}
+        arr = self._merged()
         return {
-            "count": float(len(self._samples)),
-            "mean": self.mean(),
-            "p50": self.percentile(50),
-            "p95": self.percentile(95),
-            "p99": self.percentile(99),
-            "p999": self.percentile(99.9),
-            "max": self.max(),
+            "count": float(count),
+            "mean": self._sum / count,
+            "p50": self._percentile_of_sorted(arr, 50),
+            "p95": self._percentile_of_sorted(arr, 95),
+            "p99": self._percentile_of_sorted(arr, 99),
+            "p999": self._percentile_of_sorted(arr, 99.9),
+            "max": self._max,
         }
 
 
@@ -102,10 +166,14 @@ class LatencyRecorder:
 
     def record(self, op_type: str, latency: float) -> None:
         """Record one latency for an operation type ('read', 'write', ...)."""
-        for bucket in (self._all_time, self._window):
-            if op_type not in bucket:
-                bucket[op_type] = PercentileEstimator()
-            bucket[op_type].add(latency)
+        estimator = self._all_time.get(op_type)
+        if estimator is None:
+            estimator = self._all_time[op_type] = PercentileEstimator()
+        estimator.add(latency)
+        estimator = self._window.get(op_type)
+        if estimator is None:
+            estimator = self._window[op_type] = PercentileEstimator()
+        estimator.add(latency)
 
     def op_types(self) -> List[str]:
         """Operation types seen so far."""

@@ -14,17 +14,19 @@ class ClockError(RuntimeError):
 
 
 class VirtualClock:
-    """A monotonically non-decreasing simulated clock, in seconds."""
+    """A monotonically non-decreasing simulated clock, in seconds.
+
+    ``now`` is a plain attribute (read on every event and every request, so
+    property overhead matters); it must only be moved through
+    :meth:`advance_to` / :meth:`advance_by`, which enforce monotonicity.
+    """
+
+    __slots__ = ("now",)
 
     def __init__(self, start: float = 0.0) -> None:
         if start < 0:
             raise ValueError(f"clock cannot start at a negative time: {start}")
-        self._now = float(start)
-
-    @property
-    def now(self) -> float:
-        """Current simulated time in seconds since the simulation epoch."""
-        return self._now
+        self.now = float(start)
 
     def advance_to(self, timestamp: float) -> float:
         """Move the clock to ``timestamp``.
@@ -32,19 +34,19 @@ class VirtualClock:
         Raises :class:`ClockError` if the timestamp is in the past; advancing
         to the current time is a no-op and is allowed (simultaneous events).
         """
-        if timestamp < self._now:
+        if timestamp < self.now:
             raise ClockError(
-                f"cannot move clock backwards from {self._now:.6f} to {timestamp:.6f}"
+                f"cannot move clock backwards from {self.now:.6f} to {timestamp:.6f}"
             )
-        self._now = float(timestamp)
-        return self._now
+        self.now = float(timestamp)
+        return self.now
 
     def advance_by(self, delta: float) -> float:
         """Move the clock forward by ``delta`` seconds."""
         if delta < 0:
             raise ClockError(f"cannot advance the clock by a negative delta: {delta}")
-        self._now += float(delta)
-        return self._now
+        self.now += float(delta)
+        return self.now
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"VirtualClock(now={self._now:.6f})"
+        return f"VirtualClock(now={self.now:.6f})"

@@ -9,13 +9,17 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 
-@dataclass(order=True)
 class Event:
     """A scheduled callback.
+
+    A plain ``__slots__`` class rather than a dataclass: events are the
+    single most-allocated object in a simulation, and the heap compares them
+    on every push/pop, so construction and ``__lt__`` are kept hand-written
+    (the dataclass-generated compare builds a tuple per operand per
+    comparison).
 
     Attributes:
         time: simulated time (seconds) at which the event fires.
@@ -25,12 +29,39 @@ class Event:
         name: optional label used in traces and error messages.
     """
 
-    time: float
-    priority: int = 0
-    seq: int = field(default=0, compare=True)
-    action: Optional[Callable[[], Any]] = field(default=None, compare=False)
-    name: str = field(default="", compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    __slots__ = ("time", "priority", "seq", "action", "name", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int = 0,
+        seq: int = 0,
+        action: Optional[Callable[[], Any]] = None,
+        name: str = "",
+        cancelled: bool = False,
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.action = action
+        self.name = name
+        self.cancelled = cancelled
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        if self.priority != other.priority:
+            return self.priority < other.priority
+        return self.seq < other.seq
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return (self.time, self.priority, self.seq) == (other.time, other.priority, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Event(time={self.time!r}, priority={self.priority!r}, "
+                f"seq={self.seq!r}, name={self.name!r}, cancelled={self.cancelled!r})")
 
     def cancel(self) -> None:
         """Mark the event so the queue skips it when it reaches the front."""
@@ -65,13 +96,7 @@ class EventQueue:
         name: str = "",
     ) -> Event:
         """Schedule ``action`` at ``time`` and return the event handle."""
-        event = Event(
-            time=time,
-            priority=priority,
-            seq=next(self._counter),
-            action=action,
-            name=name,
-        )
+        event = Event(time, priority, next(self._counter), action, name)
         heapq.heappush(self._heap, event)
         self._live += 1
         return event
@@ -88,6 +113,26 @@ class EventQueue:
             self._live -= 1
             return event
         raise IndexError("pop from an empty event queue")
+
+    def pop_due(self, end_time: float) -> Optional[Event]:
+        """Pop and return the earliest live event due at or before ``end_time``.
+
+        Returns None (popping nothing) when the next live event is later than
+        ``end_time`` or the queue is empty.  One call replaces the
+        ``peek_time`` + ``pop`` pair in the simulator's dispatch loop.
+        """
+        heap = self._heap
+        while heap:
+            event = heap[0]
+            if event.cancelled:
+                heapq.heappop(heap)
+                continue
+            if event.time > end_time:
+                return None
+            heapq.heappop(heap)
+            self._live -= 1
+            return event
+        return None
 
     def peek_time(self) -> Optional[float]:
         """Return the firing time of the next live event, or None if empty."""

@@ -5,28 +5,100 @@ The paper's performance SLAs are phrased over latency percentiles
 *tail* behaviour of per-request service times and how it degrades with load.
 ``QueueingLatency`` captures the load-dependent part with an M/M/1-style
 utilisation factor on top of any base distribution.
+
+Sampling is *pooled*: scalar draws from a ``numpy.random.Generator`` cost
+over a microsecond each in call overhead, which dominates simulator
+throughput at closed-loop request volumes.  Each model therefore pre-draws a
+vectorized block per generator and hands values out one at a time.  Because
+numpy fills distribution arrays element-by-element from the same bit stream,
+the pooled sequence is *identical* to the scalar-draw sequence for a given
+stream (property-tested in ``tests/test_hot_path_perf.py``) — only the
+*consumption point* of the underlying bit stream moves earlier.  Streams
+shared between several models (e.g. the network stream feeding every link)
+will interleave their block prefetches differently than scalar draws did, so
+cross-model interleavings on a shared stream are not preserved.
+
+Distribution parameters are read when a block is drawn, so models must not
+be re-parameterised in place mid-stream (construct a new model instead).
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+import math
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 
 class LatencyModel:
-    """Base class: a latency model returns a per-request service time."""
+    """Base class: a latency model returns a per-request service time.
+
+    Subclasses implement :meth:`_draw_block` (a vectorized draw of ``size``
+    samples); the base class manages one sample pool per generator so that
+    :meth:`sample` is an array lookup in the common case.
+    """
+
+    POOL_BLOCK = 1024
+
+    # Lazily created so subclasses need not call ``super().__init__``.
+    _pools: Optional[Dict[np.random.Generator, list]] = None
+
+    def _draw_block(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """Draw ``size`` samples in one vectorized call."""
+        raise NotImplementedError
+
+    def _pool_for(self, rng: np.random.Generator) -> list:
+        pools = self._pools
+        if pools is None:
+            pools = self._pools = {}
+        pool = pools.get(rng)
+        if pool is None:
+            pool = pools[rng] = [_EMPTY_BLOCK, 0]
+        return pool
 
     def sample(self, rng: np.random.Generator) -> float:
-        raise NotImplementedError
+        """One service time, served from the per-generator pool."""
+        pools = self._pools
+        if pools is None:
+            pools = self._pools = {}
+        pool = pools.get(rng)
+        if pool is None:
+            pool = pools[rng] = [_EMPTY_BLOCK, 0]
+        block, index = pool
+        if index >= block.shape[0]:
+            block = pool[0] = self._draw_block(rng, self.POOL_BLOCK)
+            index = 0
+        pool[1] = index + 1
+        return float(block[index])
+
+    def sample_many(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        """``count`` service times in draw order, continuing the pooled stream."""
+        if count <= 0:
+            return np.empty(0)
+        pool = self._pool_for(rng)
+        block, index = pool
+        available = block.shape[0] - index
+        if available >= count:
+            pool[1] = index + count
+            return block[index:index + count].copy()
+        out = np.empty(count)
+        if available > 0:
+            out[:available] = block[index:]
+        pool[0] = _EMPTY_BLOCK
+        pool[1] = 0
+        out[available:] = self._draw_block(rng, count - available)
+        return out
 
     def mean(self) -> float:
         """Analytic (or estimated) mean service time, used by the ML features."""
         raise NotImplementedError
 
 
+_EMPTY_BLOCK = np.empty(0)
+
+
 class ConstantLatency(LatencyModel):
-    """Always the same service time; useful in tests."""
+    """Always the same service time; useful in tests.  Consumes no randomness."""
 
     def __init__(self, value: float) -> None:
         if value < 0:
@@ -35,6 +107,9 @@ class ConstantLatency(LatencyModel):
 
     def sample(self, rng: np.random.Generator) -> float:
         return self.value
+
+    def sample_many(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        return np.full(count, self.value)
 
     def mean(self) -> float:
         return self.value
@@ -48,8 +123,8 @@ class ExponentialLatency(LatencyModel):
             raise ValueError(f"mean must be positive, got {mean}")
         self._mean = float(mean)
 
-    def sample(self, rng: np.random.Generator) -> float:
-        return float(rng.exponential(self._mean))
+    def _draw_block(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return rng.exponential(self._mean, size=size)
 
     def mean(self) -> float:
         return self._mean
@@ -60,6 +135,8 @@ class LogNormalLatency(LatencyModel):
 
     Parameterised by median and sigma because that is how production latency
     distributions are usually characterised; the tail index grows with sigma.
+    ``mu = log(median)`` is cached at construction instead of being
+    recomputed on every sample.
     """
 
     def __init__(self, median: float, sigma: float = 0.5) -> None:
@@ -69,9 +146,10 @@ class LogNormalLatency(LatencyModel):
             raise ValueError(f"sigma must be non-negative, got {sigma}")
         self.median = float(median)
         self.sigma = float(sigma)
+        self._mu = math.log(self.median)
 
-    def sample(self, rng: np.random.Generator) -> float:
-        return float(rng.lognormal(mean=np.log(self.median), sigma=self.sigma))
+    def _draw_block(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return rng.lognormal(mean=self._mu, sigma=self.sigma, size=size)
 
     def mean(self) -> float:
         return float(self.median * np.exp(self.sigma**2 / 2.0))
@@ -86,8 +164,8 @@ class ParetoLatency(LatencyModel):
         self.scale = float(scale)
         self.shape = float(shape)
 
-    def sample(self, rng: np.random.Generator) -> float:
-        return float(self.scale * (1.0 + rng.pareto(self.shape)))
+    def _draw_block(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return self.scale * (1.0 + rng.pareto(self.shape, size=size))
 
     def mean(self) -> float:
         return self.scale * self.shape / (self.shape - 1.0)
@@ -104,8 +182,8 @@ class EmpiricalLatency(LatencyModel):
             raise ValueError("latency samples must be non-negative")
         self._samples = arr
 
-    def sample(self, rng: np.random.Generator) -> float:
-        return float(self._samples[rng.integers(0, self._samples.size)])
+    def _draw_block(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return self._samples[rng.integers(0, self._samples.size, size=size)]
 
     def mean(self) -> float:
         return float(self._samples.mean())
@@ -120,6 +198,10 @@ class QueueingLatency(LatencyModel):
     the model itself stays stateless.  Utilisation is clamped just below 1 so
     an overloaded node returns very large — but finite — latencies, which is
     what lets the SLA monitor observe the violation and react.
+
+    The utilisation factor is applied per sample (it changes between draws),
+    so pooling lives in the *base* model and the pooled stream stays
+    identical to scalar draws from the base distribution.
     """
 
     MAX_UTILISATION = 0.99
@@ -136,11 +218,27 @@ class QueueingLatency(LatencyModel):
         """Update the utilisation used to inflate subsequent samples."""
         if rho < 0:
             raise ValueError(f"utilisation must be non-negative, got {rho}")
-        self._utilisation = min(float(rho), self.MAX_UTILISATION)
+        self._utilisation = float(rho) if rho < self.MAX_UTILISATION else self.MAX_UTILISATION
 
     def sample(self, rng: np.random.Generator) -> float:
-        service = self.base.sample(rng)
-        return service / (1.0 - self._utilisation)
+        # Inlined pooled lookup on the base model: this is the per-request
+        # service-time path for every storage node.
+        base = self.base
+        pools = base._pools
+        if pools is None:
+            return base.sample(rng) / (1.0 - self._utilisation)
+        pool = pools.get(rng)
+        if pool is None:
+            return base.sample(rng) / (1.0 - self._utilisation)
+        block, index = pool
+        if index >= block.shape[0]:
+            block = pool[0] = base._draw_block(rng, base.POOL_BLOCK)
+            index = 0
+        pool[1] = index + 1
+        return float(block[index]) / (1.0 - self._utilisation)
+
+    def sample_many(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        return self.base.sample_many(rng, count) / (1.0 - self._utilisation)
 
     def mean(self) -> float:
         return self.base.mean() / (1.0 - self._utilisation)
@@ -151,9 +249,11 @@ def percentile_of(model: LatencyModel, rng: np.random.Generator,
     """Monte-Carlo estimate of a percentile of a latency model.
 
     Used by the provisioning planner to translate a candidate configuration
-    into an expected SLA percentile before committing to it.
+    into an expected SLA percentile before committing to it.  Draws are
+    vectorized through :meth:`LatencyModel.sample_many`, which continues the
+    model's pooled stream in draw order.
     """
     if not 0.0 < percentile <= 100.0:
         raise ValueError(f"percentile must be in (0, 100], got {percentile}")
-    draws = np.array([model.sample(rng) for _ in range(samples)])
+    draws = model.sample_many(rng, samples)
     return float(np.percentile(draws, percentile))

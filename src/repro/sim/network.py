@@ -98,21 +98,27 @@ class NetworkModel:
 
     def is_reachable(self, src: str, dst: str) -> bool:
         """True unless an active partition separates the endpoints."""
+        if not self._partitions:
+            return True
         return not any(p.separates(src, dst) for p in self._partitions)
 
     def delay(self, src: str, dst: str) -> float:
         """One-way message delay from ``src`` to ``dst``.
 
         Raises :class:`NetworkPartitionError` if the endpoints are partitioned.
+        The healthy-network case (no partitions, no explicit links, no
+        congestion) is the per-request hot path and skips every lookup.
         """
         if src == dst:
             return 0.0
-        if not self.is_reachable(src, dst):
+        if self._partitions and not self.is_reachable(src, dst):
             raise NetworkPartitionError(f"{src} cannot reach {dst}: network partition")
-        link = self._links.get((src, dst))
-        if link is not None:
-            base = link.delay(self._rng)
+        if self._links:
+            link = self._links.get((src, dst))
+            base = (link.delay(self._rng) if link is not None
+                    else self._default_latency.sample(self._rng))
         else:
             base = self._default_latency.sample(self._rng)
-        factor = self._congestion.get((src, dst), 1.0)
-        return base * factor
+        if self._congestion:
+            return base * self._congestion.get((src, dst), 1.0)
+        return base

@@ -4,7 +4,7 @@ service times)."""
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from typing import Dict, List, Sequence
 
 import numpy as np
 
@@ -53,7 +53,16 @@ class ZipfGenerator:
     Used for key popularity: a small number of users/objects receive most of
     the traffic, which is what makes hot-range detection and repartitioning
     in the storage substrate meaningful.
+
+    Draws are pooled: uniforms are pre-drawn in blocks (a scalar generator
+    call per op is the workload generator's main cost at closed-loop request
+    volumes).  Because numpy fills uniform blocks element-by-element, the
+    emitted index sequence is identical to scalar draws from the same stream
+    — though the *stream consumption point* moves earlier, which matters only
+    if the same generator object feeds other consumers too.
     """
+
+    POOL_BLOCK = 1024
 
     def __init__(self, n: int, theta: float, rng: np.random.Generator) -> None:
         if n <= 0:
@@ -66,16 +75,41 @@ class ZipfGenerator:
         ranks = np.arange(1, n + 1, dtype=float)
         weights = 1.0 / np.power(ranks, theta)
         self._cdf = np.cumsum(weights) / np.sum(weights)
+        # The uniforms are kept for draw_many's stream continuation; their
+        # searchsorted indices are computed vectorized at block-refill time
+        # so draw() itself is a list lookup.
+        self._pool: np.ndarray = _EMPTY
+        self._pool_indices: List[int] = []
+        self._pool_index = 0
+
+    def _refill(self) -> None:
+        self._pool = self._rng.random(self.POOL_BLOCK)
+        self._pool_indices = np.searchsorted(self._cdf, self._pool).tolist()
+        self._pool_index = 0
 
     def draw(self) -> int:
         """Draw a single item index (0-based, 0 is the most popular)."""
-        u = self._rng.random()
-        return int(np.searchsorted(self._cdf, u))
+        index = self._pool_index
+        if index >= self._pool.shape[0]:
+            self._refill()
+            index = 0
+        self._pool_index = index + 1
+        return self._pool_indices[index]
 
     def draw_many(self, count: int) -> np.ndarray:
-        """Draw ``count`` item indices at once."""
-        u = self._rng.random(count)
+        """Draw ``count`` item indices at once, continuing the pooled stream."""
+        u = np.empty(count)
+        available = self._pool.shape[0] - self._pool_index
+        take = min(available, count) if available > 0 else 0
+        if take:
+            u[:take] = self._pool[self._pool_index:self._pool_index + take]
+            self._pool_index += take
+        if take < count:
+            u[take:] = self._rng.random(count - take)
         return np.searchsorted(self._cdf, u).astype(int)
+
+
+_EMPTY = np.empty(0)
 
 
 def pareto_sample(rng: np.random.Generator, shape: float, scale: float) -> float:

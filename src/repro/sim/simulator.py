@@ -44,7 +44,7 @@ class Simulator:
         """Schedule ``action`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise ValueError(f"delay must be non-negative, got {delay}")
-        return self.queue.push(self.now + delay, action, priority=priority, name=name)
+        return self.queue.push(self.clock.now + delay, action, priority=priority, name=name)
 
     def schedule_at(
         self,
@@ -108,19 +108,27 @@ class Simulator:
         Events scheduled exactly at ``end_time`` are processed.  The clock is
         left at ``end_time`` even if the queue drains earlier, so that
         duration-based accounting (billing, SLA windows) sees the full span.
+        The dispatch loop is inlined (rather than calling :meth:`step`) —
+        it is the innermost loop of every experiment.
         """
         processed = 0
+        queue = self.queue
+        clock = self.clock
         while True:
-            next_time = self.queue.peek_time()
-            if next_time is None or next_time > end_time:
+            event = queue.pop_due(end_time)
+            if event is None:
                 break
-            self.step()
+            clock.advance_to(event.time)
+            action = event.action
+            if action is not None:
+                action()
+            self._event_count += 1
             processed += 1
             if max_events is not None and processed >= max_events:
                 break
-        if self.now < end_time:
-            self.clock.advance_to(end_time)
-        return self.now
+        if clock.now < end_time:
+            clock.advance_to(end_time)
+        return clock.now
 
     def run(self, max_events: int = 1_000_000) -> float:
         """Process events until the queue is empty or ``max_events`` fire."""

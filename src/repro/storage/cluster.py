@@ -269,12 +269,18 @@ class Cluster:
                     handed[target.group_id] += 1
                     self.partitioner.reassign(part.index, target.group_id)
         self.partitioner.remove_group(group_id)
-        # Move every key the departing group holds to its new owner.
+        # Move every key the departing group holds to its new owner;
+        # ownership resolved once per partition token over the scan.
         primary = self.nodes[group.primary]
         moved = 0
+        owner_by_token: Dict[str, ReplicaGroup] = {}
         for namespace in primary.namespaces():
             for key, value in primary.scan_namespace(namespace):
-                target_group = self.groups[self.partitioner.group_for_key(namespace, key)]
+                token = str(key[0])
+                target_group = owner_by_token.get(token)
+                if target_group is None:
+                    target_group = owner_by_token[token] = self.groups[
+                        self.partitioner.group_for_token(token)]
                 for node_id in target_group.node_ids:
                     node = self.nodes[node_id]
                     if node.alive:
@@ -297,18 +303,29 @@ class Cluster:
 
         Returns the simulated duration of the movement (keys moved divided by
         the movement rate); callers that model rebalance latency can use it.
+
+        Every rebalance scans every stored key, so ownership is resolved once
+        per *partition token* (a local memo over the scan) rather than once
+        per key — topology churn over a large keyspace was the dominant
+        superlinear cost of long autoscaled runs.
         """
         moved = 0
+        group_for_token = self.partitioner.group_for_token
         for group in list(self.groups.values()):
+            group_id = group.group_id
             primary = self.nodes[group.primary]
             for namespace in primary.namespaces():
-                to_move: List[Tuple[Key, object]] = []
+                owner_by_token: Dict[str, str] = {}
+                to_move: List[Tuple[Key, object, str]] = []
                 for key, value in primary.scan_namespace(namespace):
-                    owner = self.partitioner.group_for_key(namespace, key)
-                    if owner != group.group_id:
-                        to_move.append((key, value))
-                for key, value in to_move:
-                    target_group = self.groups[self.partitioner.group_for_key(namespace, key)]
+                    token = str(key[0])  # partition_token(key), inlined
+                    owner = owner_by_token.get(token)
+                    if owner is None:
+                        owner = owner_by_token[token] = group_for_token(token)
+                    if owner != group_id:
+                        to_move.append((key, value, owner))
+                for key, value, owner in to_move:
+                    target_group = self.groups[owner]
                     for node_id in target_group.node_ids:
                         self.nodes[node_id].apply_replica_write(namespace, key, value)
                     for node_id in group.node_ids:
@@ -435,21 +452,27 @@ class Cluster:
         for record in self._migrations:
             in_flight_by_source.setdefault(record.source_group, set()).update(record.tokens)
         moves: Dict[Tuple[str, str], List[Tuple[str, Key, object]]] = {}
+        group_for_token = self.partitioner.group_for_token
         for group in list(self.groups.values()):
+            group_id = group.group_id
             primary = self.nodes[group.primary]
             if not primary.alive:
                 continue
-            already_moving = in_flight_by_source.get(group.group_id, set())
+            already_moving = in_flight_by_source.get(group_id, set())
+            owner_by_token: Dict[str, str] = {}
             for namespace in primary.namespaces():
                 for key, value in primary.scan_namespace(namespace):
-                    owner = self.partitioner.group_for_key(namespace, key)
-                    if owner == group.group_id:
+                    token = str(key[0])  # partition_token(key), inlined
+                    owner = owner_by_token.get(token)
+                    if owner is None:
+                        owner = owner_by_token[token] = group_for_token(token)
+                    if owner == group_id:
                         continue
-                    if partition_token(key) in already_moving:
+                    if token in already_moving:
                         # This copy is the source side of an in-flight
                         # migration; its reclamation is already scheduled.
                         continue
-                    moves.setdefault((group.group_id, owner), []).append(
+                    moves.setdefault((group_id, owner), []).append(
                         (namespace, key, value)
                     )
         records = []
@@ -608,7 +631,8 @@ class Cluster:
         """Migrations whose simulated transfer has not finished yet."""
         return list(self._migrations)
 
-    def migrations_for_key(self, namespace: str, key: Key) -> List[MigrationRecord]:
+    def migrations_for_key(self, namespace: str, key: Key,
+                           token: Optional[str] = None) -> List[MigrationRecord]:
         """All in-flight migrations covering ``key``, oldest first.
 
         More than one record can cover a key when a range is migrated again
@@ -617,7 +641,8 @@ class Cluster:
         """
         if not self._migrations:
             return []
-        token = partition_token(key)
+        if token is None:
+            token = partition_token(key)
         return [record for record in self._migrations if token in record.tokens]
 
     # ---------------------------------------------------------- load tracking
@@ -626,15 +651,24 @@ class Cluster:
         """Attach a per-partition load tracker fed by the router's accesses."""
         self._load_tracker = tracker
 
-    def note_access(self, namespace: str, key: Key, is_write: bool) -> None:
+    def note_access(self, namespace: str, key: Key, is_write: bool,
+                    token: Optional[str] = None) -> None:
         """Router hook: record one client access for per-partition load stats."""
         if self._load_tracker is not None:
-            self._load_tracker.note(partition_token(key), is_write, self.sim.now)
+            if token is None:
+                token = partition_token(key)
+            self._load_tracker.note(token, is_write, self.sim.now)
 
     # ----------------------------------------------------------------- routing
 
-    def group_for_key(self, namespace: str, key: Key) -> ReplicaGroup:
-        return self.groups[self.partitioner.group_for_key(namespace, key)]
+    def group_for_key(self, namespace: str, key: Key,
+                      token: Optional[str] = None) -> ReplicaGroup:
+        """The owning replica group; pass ``token`` (``partition_token(key)``)
+        when the caller already has it so the key is converted exactly once
+        per request."""
+        if token is None:
+            token = str(key[0])  # partition_token(key), inlined for the hot path
+        return self.groups[self.partitioner.group_for_token(token)]
 
     def groups_for_range(self, key_range: KeyRange) -> List[ReplicaGroup]:
         return [self.groups[g] for g in self.partitioner.groups_for_range(key_range)]

@@ -25,7 +25,7 @@ class NodeDownError(RuntimeError):
     """Raised when an operation is attempted on a crashed node."""
 
 
-@dataclass
+@dataclass(slots=True)
 class NodeStats:
     """Counters a node exposes to the cluster manager and the ML features."""
 
@@ -151,19 +151,25 @@ class StorageNode:
     # -------------------------------------------------------------- load model
 
     def _record_arrival(self, now: float) -> None:
-        if self._last_arrival is not None:
-            gap = max(now - self._last_arrival, 1e-6)
-            if self._ewma_interarrival is None:
-                self._ewma_interarrival = gap
+        last = self._last_arrival
+        ewma = self._ewma_interarrival
+        if last is not None:
+            gap = now - last
+            if gap < 1e-6:
+                gap = 1e-6
+            if ewma is None:
+                ewma = gap
             else:
                 alpha = self._rate_ewma_alpha
-                self._ewma_interarrival = alpha * gap + (1 - alpha) * self._ewma_interarrival
+                ewma = alpha * gap + (1 - alpha) * ewma
+            self._ewma_interarrival = ewma
         self._last_arrival = now
-        rate = self.arrival_rate()
-        self._stats.arrival_rate = rate
-        utilisation = rate / self.capacity_ops_per_sec
-        self._latency.set_utilisation(utilisation)
-        self._stats.utilisation = self._latency.utilisation
+        rate = 1.0 / ewma if ewma is not None and ewma > 0 else 0.0
+        latency = self._latency
+        latency.set_utilisation(rate / self.capacity_ops_per_sec)
+        stats = self._stats
+        stats.arrival_rate = rate
+        stats.utilisation = latency._utilisation
 
     def arrival_rate(self) -> float:
         """Current smoothed arrival rate estimate in ops/sec."""
@@ -202,9 +208,10 @@ class StorageNode:
     # ------------------------------------------------------------------- data
 
     def _store(self, namespace: str) -> _NamespaceStore:
-        if namespace not in self._namespaces:
-            self._namespaces[namespace] = _NamespaceStore()
-        return self._namespaces[namespace]
+        store = self._namespaces.get(namespace)
+        if store is None:
+            store = self._namespaces[namespace] = _NamespaceStore()
+        return store
 
     def peek(self, namespace: str, key: Key,
              include_tombstones: bool = False) -> Optional[VersionedValue]:
@@ -217,26 +224,31 @@ class StorageNode:
         otherwise a delete and a re-create issued at the same simulated time
         tie under last-write-wins and replicas keep whichever arrived last.
         """
-        self._check_alive()
-        value = self._store(namespace).get(key)
+        if not self._alive:
+            raise NodeDownError(f"node {self.node_id} is down")
+        store = self._namespaces.get(namespace)
+        value = store._data.get(key) if store is not None else None
         if value is not None and value.tombstone and not include_tombstones:
             return None
         return value
 
     def get(self, namespace: str, key: Key, now: float) -> Tuple[Optional[VersionedValue], float]:
         """Point read.  Returns (value-or-None, simulated service latency)."""
-        self._check_alive()
+        if not self._alive:
+            raise NodeDownError(f"node {self.node_id} is down")
         validate_key(key)
         self._record_arrival(now)
         self._stats.reads += 1
-        value = self._store(namespace).get(key)
+        store = self._namespaces.get(namespace)
+        value = store._data.get(key) if store is not None else None
         if value is not None and value.tombstone:
             value = None
-        return value, self.service_time()
+        return value, self._latency.sample(self._rng)
 
     def put(self, namespace: str, key: Key, value: VersionedValue, now: float) -> float:
         """Point write.  Returns the simulated service latency."""
-        self._check_alive()
+        if not self._alive:
+            raise NodeDownError(f"node {self.node_id} is down")
         validate_key(key)
         self._record_arrival(now)
         self._stats.writes += 1
@@ -245,7 +257,7 @@ class StorageNode:
         store.put(key, value)
         if not existed:
             self._stats.keys_stored += 1
-        return self.service_time()
+        return self._latency.sample(self._rng)
 
     def apply_replica_write(self, namespace: str, key: Key, value: VersionedValue) -> bool:
         """Apply an asynchronously replicated write, respecting last-write-wins.
@@ -304,7 +316,8 @@ class StorageNode:
         """Full scan of one namespace, used only for data movement and tests."""
         self._check_alive()
         store = self._store(namespace)
-        return [(key, store.get(key)) for key in store.keys()]
+        data = store._data
+        return [(key, data[key]) for key in store._sorted_keys]
 
     def namespaces(self) -> List[str]:
         return sorted(self._namespaces.keys())

@@ -63,7 +63,45 @@ class PartitionInfo:
 
 
 class Partitioner:
-    """Interface shared by the partitioning strategies."""
+    """Interface shared by the partitioning strategies.
+
+    Both strategies memoize token → group routing behind a *topology epoch*:
+    every operation that can change ownership bumps the epoch and drops the
+    memo, so steady-state routing is a dict hit (no md5, no bisect) while
+    topology changes are never served stale.  The memo is capped (cleared
+    wholesale when it exceeds ``ROUTE_CACHE_MAX`` tokens) so unbounded
+    keyspaces cannot grow it without limit.
+    """
+
+    ROUTE_CACHE_MAX = 1 << 20
+
+    def __init__(self) -> None:
+        self._epoch = 0
+        self._route_cache: Dict[str, str] = {}
+
+    @property
+    def topology_epoch(self) -> int:
+        """Bumped on every ownership-changing operation (memo invalidation)."""
+        return self._epoch
+
+    def _bump_epoch(self) -> None:
+        self._epoch += 1
+        self._route_cache.clear()
+
+    def _route_token(self, token: str) -> str:
+        """Uncached token → group resolution (strategy-specific)."""
+        raise NotImplementedError
+
+    def group_for_token(self, token: str) -> str:
+        """The group owning an arbitrary partition token (memoized)."""
+        cache = self._route_cache
+        group = cache.get(token)
+        if group is None:
+            group = self._route_token(token)
+            if len(cache) >= self.ROUTE_CACHE_MAX:
+                cache.clear()
+            cache[token] = group
+        return group
 
     def groups(self) -> List[str]:
         """All replica-group ids currently receiving data."""
@@ -71,7 +109,7 @@ class Partitioner:
 
     def group_for_key(self, namespace: str, key: Key) -> str:
         """The replica group responsible for ``key``."""
-        raise NotImplementedError
+        return self.group_for_token(str(key[0]))
 
     def groups_for_range(self, key_range: KeyRange) -> List[str]:
         """The replica groups a bounded range read must contact."""
@@ -96,6 +134,7 @@ class ConsistentHashPartitioner(Partitioner):
     """
 
     def __init__(self, group_ids: Sequence[str] = (), virtual_nodes: int = 64) -> None:
+        super().__init__()
         if virtual_nodes <= 0:
             raise ValueError(f"virtual_nodes must be positive, got {virtual_nodes}")
         self._virtual_nodes = virtual_nodes
@@ -121,6 +160,7 @@ class ConsistentHashPartitioner(Partitioner):
         self._weights[group_id] = weight
         self._points[group_id] = []
         self._add_vnodes(group_id, self._target_vnodes(weight))
+        self._bump_epoch()
 
     def remove_group(self, group_id: str) -> None:
         if group_id not in self._groups:
@@ -133,6 +173,7 @@ class ConsistentHashPartitioner(Partitioner):
             del self._ring_owners[point]
             index = bisect.bisect_left(self._ring, point)
             self._ring.pop(index)
+        self._bump_epoch()
 
     # ------------------------------------------------------------ weighted vnodes
 
@@ -158,6 +199,8 @@ class ConsistentHashPartitioner(Partitioner):
             self._add_vnodes(group_id, target)
         elif target < current:
             self._remove_vnodes(group_id, target)
+        if target != current:
+            self._bump_epoch()
         return target - current
 
     def _target_vnodes(self, weight: float) -> int:
@@ -186,8 +229,7 @@ class ConsistentHashPartitioner(Partitioner):
             index = bisect.bisect_left(self._ring, point)
             self._ring.pop(index)
 
-    def group_for_token(self, token: str) -> str:
-        """The group owning an arbitrary partition token."""
+    def _route_token(self, token: str) -> str:
         if not self._ring:
             raise PartitionerError("no replica groups registered")
         point = _hash64(token)
@@ -195,9 +237,6 @@ class ConsistentHashPartitioner(Partitioner):
         if index == len(self._ring):
             index = 0
         return self._ring_owners[self._ring[index]]
-
-    def group_for_key(self, namespace: str, key: Key) -> str:
-        return self.group_for_token(partition_token(key))
 
     def groups_for_range(self, key_range: KeyRange) -> List[str]:
         if key_range.start is None or key_range.end is None:
@@ -228,6 +267,7 @@ class RangePartitioner(Partitioner):
     """Explicit split points over the partition token (string ordering)."""
 
     def __init__(self, group_ids: Sequence[str]) -> None:
+        super().__init__()
         if not group_ids:
             raise PartitionerError("range partitioner needs at least one group")
         self._groups: List[str] = list(group_ids)
@@ -244,6 +284,7 @@ class RangePartitioner(Partitioner):
         if group_id in self._groups:
             raise PartitionerError(f"group {group_id!r} already registered")
         self._groups.append(group_id)
+        self._bump_epoch()
 
     def remove_group(self, group_id: str) -> None:
         if group_id not in self._groups:
@@ -253,6 +294,7 @@ class RangePartitioner(Partitioner):
         self._groups.remove(group_id)
         fallback = self._groups[0]
         self._owners = [fallback if owner == group_id else owner for owner in self._owners]
+        self._bump_epoch()
 
     def set_splits(self, splits: Sequence[str], owners: Sequence[str]) -> None:
         """Install explicit split points; ``splits[i]`` is the lower bound of partition i."""
@@ -267,10 +309,12 @@ class RangePartitioner(Partitioner):
             raise PartitionerError(f"owners reference unregistered groups: {sorted(unknown)}")
         self._splits = list(splits)
         self._owners = list(owners)
+        self._bump_epoch()
 
     def rebalance_evenly(self, sample_tokens: Sequence[str]) -> None:
         """Choose split points that spread sampled tokens evenly over groups."""
         groups = self._groups
+        self._bump_epoch()
         if len(groups) == 1 or not sample_tokens:
             self._splits = [""]
             self._owners = [groups[0]]
@@ -327,6 +371,7 @@ class RangePartitioner(Partitioner):
         owner = self._owners[index]
         self._splits.insert(index + 1, token)
         self._owners.insert(index + 1, owner)
+        self._bump_epoch()
         return self.partition_for_token(token)
 
     def merge_at(self, index: int) -> PartitionInfo:
@@ -345,6 +390,7 @@ class RangePartitioner(Partitioner):
             )
         self._splits.pop(index + 1)
         self._owners.pop(index + 1)
+        self._bump_epoch()
         return self.partitions()[index]
 
     def reassign(self, index: int, new_owner: str) -> PartitionInfo:
@@ -354,16 +400,14 @@ class RangePartitioner(Partitioner):
         if new_owner not in self._groups:
             raise PartitionerError(f"group {new_owner!r} is not registered")
         self._owners[index] = new_owner
+        self._bump_epoch()
         return self.partitions()[index]
 
     # ------------------------------------------------------------------- routing
 
-    def group_for_token(self, token: str) -> str:
+    def _route_token(self, token: str) -> str:
         index = bisect.bisect_right(self._splits, token) - 1
         return self._owners[index]
-
-    def group_for_key(self, namespace: str, key: Key) -> str:
-        return self.group_for_token(partition_token(key))
 
     def groups_for_range(self, key_range: KeyRange) -> List[str]:
         if key_range.start is None or key_range.end is None:

@@ -13,8 +13,9 @@ synchronously, paying the extra latency up front.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.sim.network import NetworkModel, NetworkPartitionError
 from repro.sim.simulator import Simulator
@@ -46,7 +47,7 @@ class ReplicaGroup:
         return len(self.node_ids)
 
 
-@dataclass
+@dataclass(slots=True)
 class PropagationRecord:
     """Bookkeeping for one write's propagation to one replica."""
 
@@ -77,6 +78,8 @@ class ReplicationEngine:
             failed because of a partition or a crashed replica.
     """
 
+    COMPLETED_LAG_WINDOW = 10_000
+
     def __init__(
         self,
         simulator: Simulator,
@@ -92,7 +95,12 @@ class ReplicationEngine:
         self._processing_delay = processing_delay
         self._retry_interval = retry_interval
         self._max_retries = max_retries
-        self._history: List[PropagationRecord] = []
+        # Completed propagations are recorded as bare lag floats in a
+        # bounded recent window (plus an all-time running max): keeping every
+        # PropagationRecord alive forever made long closed-loop runs
+        # accumulate millions of gc-tracked objects.
+        self._completed_lags: Deque[float] = deque(maxlen=self.COMPLETED_LAG_WINDOW)
+        self._max_lag: float = 0.0
         self._pending: int = 0
         self._lag_listeners: List[Callable[[PropagationRecord], None]] = []
 
@@ -118,18 +126,23 @@ class ReplicationEngine:
         own scheduling decision (propagate sooner for tight staleness bounds).
         """
         records = []
-        for replica_id in group.replicas:
+        node_ids = group.node_ids
+        primary_id = node_ids[0]
+        now = self._sim.clock.now
+        name = f"replicate:{namespace}"
+        for i in range(1, len(node_ids)):
+            replica_id = node_ids[i]
             record = PropagationRecord(
                 namespace=namespace,
                 key=key,
-                write_time=self._sim.now,
+                write_time=now,
                 replica_id=replica_id,
             )
-            self._history.append(record)
             records.append(record)
             self._pending += 1
-            self._schedule_apply(group.primary, replica_id, namespace, key, value,
-                                 record, delay_override, retries_left=self._max_retries)
+            self._schedule_apply(primary_id, replica_id, namespace, key, value,
+                                 record, delay_override,
+                                 retries_left=self._max_retries, name=name)
         return records
 
     def _schedule_apply(
@@ -142,6 +155,7 @@ class ReplicationEngine:
         record: PropagationRecord,
         delay_override: Optional[float],
         retries_left: int,
+        name: str = "",
     ) -> None:
         try:
             hop = self._network.delay(primary_id, replica_id)
@@ -160,12 +174,16 @@ class ReplicationEngine:
                                      record, delay_override, retries_left)
                 return
             node.apply_replica_write(namespace, key, value)
-            record.applied_time = self._sim.now
+            record.applied_time = self._sim.clock.now
             self._pending -= 1
+            lag = record.applied_time - record.write_time
+            self._completed_lags.append(lag)
+            if lag > self._max_lag:
+                self._max_lag = lag
             for listener in self._lag_listeners:
                 listener(record)
 
-        self._sim.schedule(delay, apply, name=f"replicate:{namespace}")
+        self._sim.schedule(delay, apply, name=name or f"replicate:{namespace}")
 
     def _schedule_retry(
         self,
@@ -210,7 +228,6 @@ class ReplicationEngine:
             write_time=self._sim.now,
             replica_id=replica_id,
         )
-        self._history.append(record)
         self._pending += 1
         self._schedule_apply(source_id, replica_id, namespace, key, value,
                              record, None, retries_left=self._max_retries)
@@ -271,13 +288,14 @@ class ReplicationEngine:
         return self._pending
 
     def completed_lags(self) -> List[float]:
-        """Replication lags (seconds) of every completed propagation."""
-        return [r.lag for r in self._history if r.lag is not None]
+        """Lags (seconds) of the most recent completed propagations.
+
+        Bounded to the last ``COMPLETED_LAG_WINDOW`` completions so long runs
+        do not accumulate an unbounded list; ``max_observed_lag`` stays
+        all-time.
+        """
+        return list(self._completed_lags)
 
     def max_observed_lag(self) -> float:
         """The worst completed replication lag so far (0 if none completed)."""
-        lags = self.completed_lags()
-        return max(lags) if lags else 0.0
-
-    def history(self) -> List[PropagationRecord]:
-        return list(self._history)
+        return self._max_lag

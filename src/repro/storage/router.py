@@ -17,8 +17,8 @@ never serve a value older than the migration cut-over.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.sim.network import NetworkPartitionError
 from repro.storage.cluster import Cluster
@@ -29,14 +29,19 @@ from repro.storage.replication import ReplicaGroup
 CLIENT_ENDPOINT = "client"
 
 
-@dataclass
+@dataclass(slots=True)
 class RequestResult:
-    """Outcome of one routed request."""
+    """Outcome of one routed request.
+
+    ``rows`` defaults to a shared empty tuple: one result is allocated per
+    routed request, and only range reads carry rows, so point ops skip the
+    per-result list allocation.
+    """
 
     success: bool
     latency: float
     value: Optional[VersionedValue] = None
-    rows: List[Tuple[Key, VersionedValue]] = field(default_factory=list)
+    rows: Sequence[Tuple[Key, VersionedValue]] = ()
     node_id: Optional[str] = None
     error: Optional[str] = None
 
@@ -44,11 +49,27 @@ class RequestResult:
 class Router:
     """Routes client operations onto the simulated cluster."""
 
+    # How many replica-choice indices to pre-draw per group size.
+    CHOICE_BLOCK = 1024
+
     def __init__(self, cluster: Cluster) -> None:
         self._cluster = cluster
         self._sim = cluster.sim
+        # The cluster's node map, network, partitioner, group map, and
+        # migration list are stable objects (mutated in place, never
+        # replaced); direct references skip an attribute chase — or a whole
+        # delegating call — on every routed request.
+        self._nodes = cluster.nodes
+        self._network = cluster.network
+        self._partitioner = cluster.partitioner
+        self._groups = cluster.groups
+        self._migrations = cluster._migrations  # noqa: SLF001 - same subsystem
         self._read_rng = cluster.sim.random.get("router:replica-choice")
         self._ops = {"read": 0, "write": 0, "range": 0, "failed": 0}
+        # group_id -> (node_ids list object, rotations) — see _read_candidates.
+        self._rotation_cache: Dict[str, Tuple[List[str], Tuple[Tuple[str, ...], ...]]] = {}
+        # group size -> [pre-drawn index block, cursor] for replica choice.
+        self._choice_pools: Dict[int, list] = {}
 
     # ------------------------------------------------------------------ writes
 
@@ -69,13 +90,18 @@ class Router:
         replicas synchronously (serializable / Dynamo-style writes).
         """
         now = self._sim.now
-        group = self._cluster.group_for_key(namespace, key)
-        self._cluster.note_access(namespace, key, is_write=True)
-        migrations = self._cluster.migrations_for_key(namespace, key)
-        primary = self._cluster.nodes[group.primary]
+        token = str(key[0])  # partition_token(key), inlined for the hot path
+        group = self._groups[self._partitioner.group_for_token(token)]
+        cluster = self._cluster
+        if cluster._load_tracker is not None:  # noqa: SLF001 - router feeds it
+            cluster.note_access(namespace, key, is_write=True, token=token)
+        in_flight = self._migrations
+        migrations = ([record for record in in_flight if token in record.tokens]
+                      if in_flight else ())
+        primary = self._nodes[group.primary]
         self._ops["write"] += 1
         try:
-            client_hop = self._cluster.network.delay(CLIENT_ENDPOINT, group.primary)
+            client_hop = self._network.delay(CLIENT_ENDPOINT, group.primary)
         except NetworkPartitionError:
             self._ops["failed"] += 1
             return RequestResult(success=False, latency=0.0, error="client partitioned from primary")
@@ -141,28 +167,33 @@ class Router:
         that many replicas and returns the newest version (Dynamo-style R).
         """
         now = self._sim.now
-        group = self._cluster.group_for_key(namespace, key)
-        self._cluster.note_access(namespace, key, is_write=False)
+        token = str(key[0])  # partition_token(key), inlined for the hot path
+        group = self._groups[self._partitioner.group_for_token(token)]
+        cluster = self._cluster
+        if cluster._load_tracker is not None:  # noqa: SLF001 - router feeds it
+            cluster.note_access(namespace, key, is_write=False, token=token)
         self._ops["read"] += 1
         if read_quorum > 1:
             return self._quorum_read(group, namespace, key, read_quorum, now)
-        candidates = [group.primary] if from_primary else self._read_candidates(group)
+        candidates = (group.primary,) if from_primary else self._read_candidates(group)
         # Dual-route: every migration source still holding in-flight copies
         # backstops the new owner, newest cut-over first (chained migrations
         # can leave several sources with copies of the same key).
-        for source in self._migration_source_groups(
-                self._cluster.migrations_for_key(namespace, key), group):
-            candidates = candidates + (
-                [source.primary] if from_primary else self._read_candidates(source)
-            )
+        in_flight = self._migrations
+        if in_flight:
+            migrations = [record for record in in_flight if token in record.tokens]
+            for source in self._migration_source_groups(migrations, group):
+                candidates = candidates + (
+                    (source.primary,) if from_primary else self._read_candidates(source)
+                )
         last_error = "no replica available"
         for node_id in candidates:
-            node = self._cluster.nodes.get(node_id)
+            node = self._nodes.get(node_id)
             if node is None or not node.alive:
                 last_error = f"node {node_id} down"
                 continue
             try:
-                hop = self._cluster.network.delay(CLIENT_ENDPOINT, node_id)
+                hop = self._network.delay(CLIENT_ENDPOINT, node_id)
                 value, service = node.get(namespace, key, now)
             except NetworkPartitionError:
                 last_error = f"client partitioned from {node_id}"
@@ -190,14 +221,14 @@ class Router:
         total_latency = 0.0
         contacted = 0
         for group in groups:
-            candidates = [group.primary] if from_primary else self._read_candidates(group)
+            candidates = (group.primary,) if from_primary else self._read_candidates(group)
             served = False
             for node_id in candidates:
-                node = self._cluster.nodes.get(node_id)
+                node = self._nodes.get(node_id)
                 if node is None or not node.alive:
                     continue
                 try:
-                    hop = self._cluster.network.delay(CLIENT_ENDPOINT, node_id)
+                    hop = self._network.delay(CLIENT_ENDPOINT, node_id)
                     rows, service = node.get_range(key_range, now, limit, reverse)
                 except (NetworkPartitionError, NodeDownError):
                     continue
@@ -250,7 +281,7 @@ class Router:
         """
         for source in self._migration_source_groups(migrations, group):
             for node_id in source.node_ids:
-                node = self._cluster.nodes.get(node_id)
+                node = self._nodes.get(node_id)
                 if node is not None and node.alive:
                     node.apply_replica_write(namespace, key, versioned)
 
@@ -265,7 +296,7 @@ class Router:
         source copies are reclaimed at migration completion.
         """
         for source in self._migration_source_groups(migrations, group):
-            source_primary = self._cluster.nodes.get(source.primary)
+            source_primary = self._nodes.get(source.primary)
             if source_primary is None or not source_primary.alive:
                 continue
             # The version computed against the down target primary is
@@ -282,12 +313,12 @@ class Router:
                     tombstone=versioned.tombstone,
                 )
             try:
-                hop = self._cluster.network.delay(CLIENT_ENDPOINT, source.primary)
+                hop = self._network.delay(CLIENT_ENDPOINT, source.primary)
                 service = source_primary.put(namespace, key, versioned, now)
             except (NetworkPartitionError, NodeDownError):
                 continue
             for node_id in group.node_ids:
-                node = self._cluster.nodes.get(node_id)
+                node = self._nodes.get(node_id)
                 if node is not None and node.alive:
                     node.apply_replica_write(namespace, key, versioned)
                 else:
@@ -320,11 +351,11 @@ class Router:
             if source is None:
                 continue
             for node_id in self._read_candidates(source):
-                node = self._cluster.nodes.get(node_id)
+                node = self._nodes.get(node_id)
                 if node is None or not node.alive:
                     continue
                 try:
-                    hop = self._cluster.network.delay(CLIENT_ENDPOINT, node_id)
+                    hop = self._network.delay(CLIENT_ENDPOINT, node_id)
                     rows, service = node.get_range(key_range, now, limit, reverse)
                 except (NetworkPartitionError, NodeDownError):
                     continue
@@ -333,13 +364,35 @@ class Router:
 
     # ----------------------------------------------------------------- helpers
 
-    def _read_candidates(self, group: ReplicaGroup) -> List[str]:
-        """Replica preference order for a read: a random replica, then the rest."""
-        node_ids = list(group.node_ids)
-        if len(node_ids) <= 1:
-            return node_ids
-        start = int(self._read_rng.integers(0, len(node_ids)))
-        return node_ids[start:] + node_ids[:start]
+    def _read_candidates(self, group: ReplicaGroup) -> Tuple[str, ...]:
+        """Replica preference order for a read: a random replica, then the rest.
+
+        Allocation-free on the hot path: every rotation of a group's replica
+        list is built once and cached (keyed by the ``node_ids`` list object,
+        whose identity changes if membership is ever replaced), and the
+        random starting index comes from a pre-drawn block per group size
+        instead of a scalar generator call per read.
+        """
+        node_ids = group.node_ids
+        n = len(node_ids)
+        if n <= 1:
+            return tuple(node_ids)
+        cached = self._rotation_cache.get(group.group_id)
+        if cached is None or cached[0] is not node_ids or len(cached[1]) != n:
+            rotations = tuple(
+                tuple(node_ids[start:]) + tuple(node_ids[:start]) for start in range(n)
+            )
+            self._rotation_cache[group.group_id] = (node_ids, rotations)
+        else:
+            rotations = cached[1]
+        pool = self._choice_pools.get(n)
+        if pool is None or pool[1] >= self.CHOICE_BLOCK:
+            # .tolist(): plain ints index the rotation tuple faster than np.int64.
+            pool = [self._read_rng.integers(0, n, size=self.CHOICE_BLOCK).tolist(), 0]
+            self._choice_pools[n] = pool
+        start = pool[0][pool[1]]
+        pool[1] += 1
+        return rotations[start]
 
     def _quorum_read(
         self,
@@ -364,11 +417,11 @@ class Router:
         for node_id in node_ids:
             if len(responses) >= read_quorum:
                 break
-            node = self._cluster.nodes.get(node_id)
+            node = self._nodes.get(node_id)
             if node is None or not node.alive:
                 continue
             try:
-                hop = self._cluster.network.delay(CLIENT_ENDPOINT, node_id)
+                hop = self._network.delay(CLIENT_ENDPOINT, node_id)
                 value, service = node.get(namespace, key, now)
             except (NetworkPartitionError, NodeDownError):
                 continue

@@ -14,11 +14,11 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.sim.randomness import ZipfGenerator, weighted_choice
+from repro.sim.randomness import ZipfGenerator
 from repro.workloads.social_graph import SocialGraph
 
 
@@ -63,7 +63,7 @@ WRITE_KINDS = {
 }
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Operation:
     """One workload operation: what to do and on behalf of which user."""
 
@@ -78,7 +78,16 @@ class Operation:
 
 
 class CloudStoneMix:
-    """Draws operations against a social graph with Zipfian user popularity."""
+    """Draws operations against a social graph with Zipfian user popularity.
+
+    Kind selection is a ``searchsorted`` against a cached cumulative mix over
+    *pooled* uniforms rather than a per-operation ``Generator.choice`` call —
+    same draw distribution and, for a dedicated stream, the identical kind
+    sequence, at a tiny fraction of the cost (``choice(p=...)`` re-validates
+    and re-normalises the weights on every call).
+    """
+
+    POOL_BLOCK = 1024
 
     def __init__(
         self,
@@ -89,11 +98,12 @@ class CloudStoneMix:
     ) -> None:
         self.graph = graph
         self._rng = rng
-        self._mix = dict(mix or DEFAULT_MIX)
-        total = sum(self._mix.values())
-        if total <= 0:
-            raise ValueError("operation mix weights must sum to a positive value")
-        self._mix = {kind: weight / total for kind, weight in self._mix.items()}
+        self._mix: Dict[OperationKind, float] = {}
+        self._kinds: List[OperationKind] = []
+        self._kind_cdf = np.empty(0)
+        self._pool: List[OperationKind] = []
+        self._pool_index = 0
+        self.set_mix(mix or DEFAULT_MIX)
         self._zipf = ZipfGenerator(graph.n_users, zipf_theta, rng)
         self._users = graph.users()
         self._status_counter = 0
@@ -107,15 +117,37 @@ class CloudStoneMix:
         total = sum(mix.values())
         if total <= 0:
             raise ValueError("operation mix weights must sum to a positive value")
+        if any(weight < 0 for weight in mix.values()):
+            raise ValueError("operation mix weights must be non-negative")
         self._mix = {kind: weight / total for kind, weight in mix.items()}
+        self._kinds = list(self._mix.keys())
+        cdf = np.cumsum(np.fromiter(self._mix.values(), dtype=float))
+        cdf /= cdf[-1]  # exact 1.0 endpoint: searchsorted can never overrun
+        self._kind_cdf = cdf
+        # Pre-drawn kind choices were made under the old mix; drop them so a
+        # mid-run mix swap (the Halloween spike) takes effect immediately.
+        self._pool = []
+        self._pool_index = 0
 
     def _pick_user(self) -> str:
         return self._users[self._zipf.draw()]
 
+    def _pick_kind(self) -> OperationKind:
+        index = self._pool_index
+        pool = self._pool
+        if index >= len(pool):
+            # searchsorted runs vectorized over the whole refill block, so a
+            # per-operation kind choice is two list lookups.
+            kinds = self._kinds
+            indices = np.searchsorted(self._kind_cdf, self._rng.random(self.POOL_BLOCK))
+            pool = self._pool = [kinds[i] for i in indices.tolist()]
+            index = 0
+        self._pool_index = index + 1
+        return pool[index]
+
     def next_operation(self) -> Operation:
         """Draw the next operation from the mix."""
-        weights = {kind.value: weight for kind, weight in self._mix.items()}
-        kind = OperationKind(weighted_choice(self._rng, weights))
+        kind = self._pick_kind()
         user_id = self._pick_user()
         if kind is OperationKind.READ_PROFILE:
             target = self._pick_user()

@@ -1,0 +1,260 @@
+"""Hot-path perf machinery: pooled-sampler identity and route-memo safety.
+
+The PR that pooled RNG sampling and memoized partitioner routing rests on two
+invariants:
+
+1. **Pooled draws are invisible** — every ``LatencyModel`` (and the pooled
+   workload generators) must emit the *identical* value sequence a scalar
+   draw loop would have produced from the same stream.  numpy fills
+   distribution arrays element-by-element from the same bit stream, so this
+   holds by construction; these property tests pin it against numpy upgrades
+   and future model edits.
+2. **The route memo never serves stale topology** — every ownership-changing
+   operation (hash: add/remove group, set_weight; range: split/merge/
+   reassign/set_splits/rebalance) must bump the topology epoch and invalidate
+   the token→group memo, so a memoized partitioner always answers exactly
+   like a freshly built (memo-cold) replica of itself.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.latency import (
+    ConstantLatency,
+    EmpiricalLatency,
+    ExponentialLatency,
+    LogNormalLatency,
+    ParetoLatency,
+    QueueingLatency,
+    percentile_of,
+)
+from repro.sim.randomness import ZipfGenerator
+from repro.storage.partitioner import (
+    ConsistentHashPartitioner,
+    PartitionerError,
+    RangePartitioner,
+)
+
+pytestmark = [pytest.mark.tier1, pytest.mark.property]
+
+
+# ------------------------------------------------- pooled sampler identity
+
+
+def _scalar_reference(model, rng, count):
+    """The value sequence the pre-pooling scalar implementation produced."""
+    if isinstance(model, ConstantLatency):
+        return [model.value] * count
+    if isinstance(model, ExponentialLatency):
+        return [float(rng.exponential(model.mean())) for _ in range(count)]
+    if isinstance(model, LogNormalLatency):
+        return [float(rng.lognormal(mean=np.log(model.median), sigma=model.sigma))
+                for _ in range(count)]
+    if isinstance(model, ParetoLatency):
+        return [float(model.scale * (1.0 + rng.pareto(model.shape))) for _ in range(count)]
+    if isinstance(model, EmpiricalLatency):
+        samples = model._samples
+        return [float(samples[rng.integers(0, samples.size)]) for _ in range(count)]
+    raise AssertionError(f"no scalar reference for {type(model).__name__}")
+
+
+MODEL_BUILDERS = [
+    lambda: ConstantLatency(0.004),
+    lambda: ExponentialLatency(0.01),
+    lambda: LogNormalLatency(0.004, 0.45),
+    lambda: ParetoLatency(0.002, 2.5),
+    lambda: EmpiricalLatency([0.001, 0.002, 0.005, 0.03]),
+]
+
+
+@pytest.mark.parametrize("build", MODEL_BUILDERS)
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1),
+       count=st.integers(min_value=1, max_value=2500))
+@settings(deadline=None)
+def test_pooled_sampler_matches_scalar_draws(build, seed, count):
+    """Pooled ``sample()`` emits the identical per-stream value sequence.
+
+    ``count`` deliberately crosses the pool block size so block refills are
+    exercised, not just the first block.
+    """
+    model = build()
+    rng_pooled = np.random.default_rng(seed)
+    rng_scalar = np.random.default_rng(seed)
+    pooled = [model.sample(rng_pooled) for _ in range(count)]
+    reference = _scalar_reference(build(), rng_scalar, count)
+    assert pooled == reference
+
+
+@pytest.mark.parametrize("build", MODEL_BUILDERS)
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1),
+       split=st.integers(min_value=0, max_value=700),
+       bulk=st.integers(min_value=1, max_value=1500))
+@settings(deadline=None)
+def test_sample_many_continues_the_pooled_stream(build, seed, split, bulk):
+    """Interleaving scalar draws with ``sample_many`` preserves draw order."""
+    model = build()
+    rng_pooled = np.random.default_rng(seed)
+    head = [model.sample(rng_pooled) for _ in range(split)]
+    tail = model.sample_many(rng_pooled, bulk).tolist()
+    reference = _scalar_reference(build(), np.random.default_rng(seed), split + bulk)
+    assert head + tail == pytest.approx(reference)
+
+
+def test_queueing_latency_pools_through_base():
+    model = QueueingLatency(LogNormalLatency(0.004, 0.45))
+    model.set_utilisation(0.5)
+    rng = np.random.default_rng(3)
+    pooled = [model.sample(rng) for _ in range(1500)]
+    reference = [v / 0.5 for v in
+                 _scalar_reference(LogNormalLatency(0.004, 0.45),
+                                   np.random.default_rng(3), 1500)]
+    assert pooled == pytest.approx(reference)
+
+
+def test_percentile_of_matches_scalar_draw_percentile():
+    model = LogNormalLatency(0.004, 0.5)
+    vectorized = percentile_of(model, np.random.default_rng(9), 99.0, samples=3000)
+    reference = np.percentile(
+        _scalar_reference(LogNormalLatency(0.004, 0.5), np.random.default_rng(9), 3000),
+        99.0,
+    )
+    assert vectorized == pytest.approx(float(reference))
+
+
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1),
+       count=st.integers(min_value=1, max_value=2500))
+@settings(deadline=None)
+def test_zipf_pooled_draws_match_scalar_uniforms(seed, count):
+    """ZipfGenerator's pooled uniforms emit the pre-pooling index sequence."""
+    zipf = ZipfGenerator(97, 0.8, np.random.default_rng(seed))
+    pooled = [zipf.draw() for _ in range(count)]
+    rng = np.random.default_rng(seed)
+    cdf = zipf._cdf
+    reference = [int(np.searchsorted(cdf, rng.random())) for _ in range(count)]
+    assert pooled == reference
+
+
+# ------------------------------------------------- route memo invalidation
+
+
+HASH_TOKENS = [f"u{i:03d}" for i in range(80)]
+
+
+def _replay_hash(ops):
+    """A fresh (memo-cold) hash partitioner after replaying ``ops``."""
+    partitioner = ConsistentHashPartitioner(["g0", "g1"], virtual_nodes=16)
+    for op in ops:
+        try:
+            if op[0] == "add":
+                partitioner.add_group(op[1])
+            elif op[0] == "remove":
+                partitioner.remove_group(op[1])
+            else:
+                partitioner.set_weight(op[1], op[2])
+        except PartitionerError:
+            pass
+    return partitioner
+
+
+hash_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("add"), st.sampled_from([f"g{i}" for i in range(5)])),
+        st.tuples(st.just("remove"), st.sampled_from([f"g{i}" for i in range(5)])),
+        st.tuples(st.just("weight"), st.sampled_from([f"g{i}" for i in range(5)]),
+                  st.sampled_from([0.25, 0.5, 1.0, 1.75, 3.0])),
+    ),
+    max_size=12,
+)
+
+
+@given(ops=hash_ops)
+@settings(deadline=None)
+def test_hash_route_memo_invalidates_across_topology_changes(ops):
+    """After any op sequence, memoized routes equal a memo-cold replica's.
+
+    The memoized partitioner answers queries *between* ops (priming the memo
+    with soon-to-be-stale routes); a stale entry surviving an epoch bump
+    would diverge from the fresh replay.
+    """
+    memoized = ConsistentHashPartitioner(["g0", "g1"], virtual_nodes=16)
+    applied = []
+    for op in ops:
+        for token in HASH_TOKENS[::7]:  # prime the memo before each change
+            memoized.group_for_token(token)
+        try:
+            if op[0] == "add":
+                memoized.add_group(op[1])
+            elif op[0] == "remove":
+                memoized.remove_group(op[1])
+            else:
+                memoized.set_weight(op[1], op[2])
+            applied.append(op)
+        except PartitionerError:
+            pass
+    fresh = _replay_hash(applied)
+    for token in HASH_TOKENS:
+        assert memoized.group_for_token(token) == fresh.group_for_token(token)
+
+
+def test_hash_epoch_bumps_on_each_topology_change():
+    partitioner = ConsistentHashPartitioner(["g0", "g1"], virtual_nodes=16)
+    epoch = partitioner.topology_epoch
+    partitioner.add_group("g2")
+    assert partitioner.topology_epoch > epoch
+    epoch = partitioner.topology_epoch
+    partitioner.set_weight("g2", 2.0)
+    assert partitioner.topology_epoch > epoch
+    epoch = partitioner.topology_epoch
+    partitioner.remove_group("g2")
+    assert partitioner.topology_epoch > epoch
+
+
+def test_range_route_memo_invalidates_across_split_merge_reassign():
+    """Route after each topology change matches an unmemoized partitioner."""
+    tokens = [f"u{i:03d}" for i in range(40)]
+    memoized = RangePartitioner(["g0", "g1", "g2"])
+    mirror_ops = []
+
+    def check():
+        fresh = RangePartitioner(["g0", "g1", "g2"])
+        for name, args in mirror_ops:
+            getattr(fresh, name)(*args)
+        for token in tokens:
+            assert memoized.group_for_token(token) == fresh.group_for_token(token)
+
+    def apply(name, *args):
+        for token in tokens:  # prime the memo with the pre-change routes
+            memoized.group_for_token(token)
+        getattr(memoized, name)(*args)
+        mirror_ops.append((name, args))
+        check()
+
+    apply("set_splits", ["", "u010", "u020"], ["g0", "g1", "g2"])
+    apply("split_at", "u015")        # -> [g0, g1, g1, g2]
+    apply("merge_at", 1)             # -> [g0, g1, g2] (same-owner merge)
+    apply("reassign", 2, "g0")       # -> [g0, g1, g0]
+    apply("add_group", "g3")
+    apply("reassign", 0, "g3")       # -> [g3, g1, g0]
+    apply("remove_group", "g2")      # unreferenced group leaves cleanly
+    apply("rebalance_evenly", tokens)
+
+
+def test_range_epoch_bumps_on_each_topology_change():
+    partitioner = RangePartitioner(["g0", "g1"])
+    operations = [
+        ("set_splits", (["", "u5"], ["g0", "g1"])),
+        ("split_at", ("u7",)),
+        ("reassign", (1, "g1")),
+        ("merge_at", (1,)),
+        ("add_group", ("g2",)),
+        ("remove_group", ("g2",)),
+        ("rebalance_evenly", (["a", "b", "c"],)),
+    ]
+    for name, args in operations:
+        epoch = partitioner.topology_epoch
+        getattr(partitioner, name)(*args)
+        assert partitioner.topology_epoch > epoch, name
