@@ -8,10 +8,14 @@
 #                      skipped) — a cheap crash/regression sweep
 #   make perf        - simulator-throughput harness; appends an entry to
 #                      BENCH_PERF.json (see PERFORMANCE.md)
+#   make sweep       - the standard scenario suite across all cores via the
+#                      parallel experiment fabric (see PERFORMANCE.md)
+#   make sweep-smoke - tiny sweep grid on 2 workers; also runs inside
+#                      make bench-smoke via the bench_*.py glob
 
 PYTEST := python -m pytest
 
-.PHONY: test test-all property bench bench-smoke perf
+.PHONY: test test-all property bench bench-smoke perf sweep sweep-smoke
 
 test:
 	$(PYTEST) -x -q
@@ -32,3 +36,9 @@ bench-smoke:
 
 perf:
 	BENCH_PERF_RECORD=1 $(PYTEST) benchmarks/bench_perf_throughput.py -q -s
+
+sweep:
+	python scripts/run_sweep.py --suite standard --workers auto
+
+sweep-smoke:
+	BENCH_SMOKE=1 $(PYTEST) benchmarks/bench_perf_throughput.py -q -s -k sweep

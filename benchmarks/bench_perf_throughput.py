@@ -12,6 +12,11 @@ This harness pins down two numbers and records their trajectory in
 * **event-queue events/wall-sec** — a bare push/pop microbench of the
   discrete-event kernel, isolating ``Event``/``EventQueue`` overhead from the
   request path.
+* **suite-level sweep wall-clock** — a fixed batch of independent seeded
+  runs executed serially vs across a process pool (the parallel experiment
+  fabric, ``repro.parallel``), recording the wall-clock of each and
+  asserting byte-identical per-run results; the >= 3x speedup assertion
+  only arms on machines with 4+ cores.
 
 Run it via ``make perf`` (full scenario; sets ``BENCH_PERF_RECORD=1`` to
 append to ``BENCH_PERF.json`` and assert the speedup) or as part of
@@ -26,11 +31,15 @@ comparison against committed numbers is meaningless).
 
 from __future__ import annotations
 
-import json
 import os
 import time
+from dataclasses import replace
 
 from repro.experiments.harness import build_engine_and_app, smoke_scaled, smoke_mode
+from repro.experiments.perf_log import append_entry, load_trajectory
+from repro.parallel.scenarios import STANDARD_CLOSED_LOOP, smoke_grid
+from repro.parallel.spec import SweepGrid
+from repro.parallel.executor import run_sweep
 from repro.sim.simulator import Simulator
 from repro.workloads.generator import LoadGenerator
 from repro.workloads.opmix import CloudStoneMix
@@ -52,6 +61,11 @@ SEED = 11
 
 EVENT_QUEUE_EVENTS = int(smoke_scaled(300_000, 20_000))
 SPEEDUP_TARGET = 3.0
+# Single-run throughput must not erode between recordings: each recorded run
+# is also compared against the most recent prior scenario entry.  The
+# tolerance absorbs the documented ±10% run-to-run noise on shared hardware
+# (see PERFORMANCE.md) — a real regression larger than that fails the run.
+NO_REGRESS_FRACTION = 0.85
 
 
 def run_scenario() -> dict:
@@ -115,18 +129,13 @@ def run_event_queue_microbench() -> dict:
 
 
 def _load_trajectory() -> list:
-    if not os.path.exists(BENCH_PERF_PATH):
-        return []
-    with open(BENCH_PERF_PATH) as fh:
-        return json.load(fh)
+    # Schema-validated load: a malformed committed entry fails every bench
+    # run immediately instead of silently skewing a later comparison.
+    return load_trajectory(BENCH_PERF_PATH)
 
 
 def _append_trajectory(entry: dict) -> None:
-    trajectory = _load_trajectory()
-    trajectory.append(entry)
-    with open(BENCH_PERF_PATH, "w") as fh:
-        json.dump(trajectory, fh, indent=2)
-        fh.write("\n")
+    append_entry(BENCH_PERF_PATH, entry)
 
 
 def _baseline_entry(trajectory: list) -> dict | None:
@@ -163,16 +172,153 @@ def test_perf_throughput(table_printer):
     if os.environ.get("BENCH_PERF_RECORD", "") in ("", "0"):
         return
     label = os.environ.get("BENCH_PERF_LABEL", "run")
+    previous = [entry for entry in _load_trajectory() if "scenario" in entry]
+    # Assertions run BEFORE the entry is recorded: a regressed run must not
+    # write itself into the trajectory, where it would become the next run's
+    # ratchet baseline and silently lower the bar.
+    if not (baseline is None or label == "pre-PR4-baseline"
+            or os.environ.get("BENCH_PERF_NO_ASSERT", "") not in ("", "0")):
+        assert speedup >= SPEEDUP_TARGET, (
+            f"hot-path speedup regressed: {speedup:.2f}x vs the pre-PR4 "
+            f"baseline (need >= {SPEEDUP_TARGET}x; set BENCH_PERF_NO_ASSERT=1 "
+            "on non-comparable hardware)"
+        )
+        if previous:
+            latest = previous[-1]["scenario"]["ops_per_wall_sec"]
+            ratio = scenario["ops_per_wall_sec"] / latest
+            assert ratio >= NO_REGRESS_FRACTION, (
+                f"single-run throughput regressed to {ratio:.2f}x of the "
+                f"latest recording ({previous[-1]['label']}: {latest} "
+                f"ops/wall-sec); need >= {NO_REGRESS_FRACTION}x — set "
+                "BENCH_PERF_NO_ASSERT=1 on non-comparable hardware"
+            )
     _append_trajectory({
         "label": label,
         "scenario": scenario,
         "event_queue": event_queue,
     })
-    if (baseline is None or label == "pre-PR4-baseline"
-            or os.environ.get("BENCH_PERF_NO_ASSERT", "") not in ("", "0")):
-        return
-    assert speedup >= SPEEDUP_TARGET, (
-        f"hot-path speedup regressed: {speedup:.2f}x vs the pre-PR4 baseline "
-        f"(need >= {SPEEDUP_TARGET}x; set BENCH_PERF_NO_ASSERT=1 on "
-        "non-comparable hardware)"
+
+
+# --------------------------------------------------------------- suite sweep
+#
+# The parallel experiment fabric's headline number: wall-clock of a fixed
+# batch of independent closed-loop runs executed serially (workers=1) vs
+# across a process pool.  The batch is SWEEP_RUNS seeded replicates of the
+# standard scenario shortened to SWEEP_DURATION simulated seconds —
+# shortened because the comparison needs the *batch* shape (N independent
+# runs), not the frozen single-run scenario's absolute cost, and it runs
+# twice per measurement.  Parameters are frozen like the scenario's.
+SWEEP_RUNS = 8
+SWEEP_DURATION = smoke_scaled(120.0, 10.0)
+SWEEP_BASE_SEED = 11
+SWEEP_SPEEDUP_TARGET = 3.0
+SWEEP_MIN_CPUS = 4
+
+
+def _sweep_grid() -> SweepGrid:
+    if smoke_mode():
+        return smoke_grid(runs=4, base_seed=SWEEP_BASE_SEED,
+                          duration=SWEEP_DURATION, rate=30.0)
+    scenario = replace(STANDARD_CLOSED_LOOP, duration=SWEEP_DURATION)
+    return SweepGrid(scenario=scenario, replicates=SWEEP_RUNS,
+                     base_seed=SWEEP_BASE_SEED)
+
+
+def _results_identical(serial, parallel) -> bool:
+    """Byte-identical per-run results between serial and pooled execution.
+
+    Every deterministic field of the portable summary is compared — op
+    counts, both SLA reports, the full cost report, scaling/lag aggregates
+    (via ``summary()``), hit rate, and both latency distributions — so a
+    nondeterminism confined to e.g. the provisioning/cost path cannot slip
+    past the gate.  Only wall-clock is exempt.
+    """
+    def snap(estimator):
+        return estimator.snapshot() if estimator is not None else None
+
+    if len(serial.records) != len(parallel.records):
+        return False
+    for a, b in zip(serial.records, parallel.records):
+        if a.ok != b.ok or not a.ok:
+            return False
+        sa, sb = a.summary, b.summary
+        if (sa.operations != sb.operations
+                or sa.operation_counts != sb.operation_counts
+                or sa.read_report != sb.read_report
+                or sa.write_report != sb.write_report
+                or sa.cost != sb.cost
+                or sa.cache_hit_rate != sb.cache_hit_rate
+                or sa.summary() != sb.summary()
+                or snap(sa.read_latency) != snap(sb.read_latency)
+                or snap(sa.write_latency) != snap(sb.write_latency)):
+            return False
+    return True
+
+
+def test_suite_sweep_throughput(table_printer):
+    """Serial vs parallel wall-clock for a fixed batch of independent runs."""
+    grid = _sweep_grid()
+    # At least 2 workers even on a 1-cpu container, so the parallel leg
+    # always crosses the process boundary (the determinism assertion should
+    # compare pooled execution against inline, not inline against itself).
+    workers = max(2, min(os.cpu_count() or 1, grid.run_count()))
+    if smoke_mode():
+        workers = 2  # tiny grid, two workers: proves the fan-out end to end
+    serial = run_sweep(grid, workers=1)
+    parallel = run_sweep(grid, workers=workers)
+    identical = _results_identical(serial, parallel)
+    speedup = serial.wall_seconds / max(parallel.wall_seconds, 1e-9)
+    table_printer(
+        "Perf: suite-level sweep (serial vs parallel)",
+        ["execution", "runs", "workers", "wall s"],
+        [
+            ["serial", len(serial.records), 1, round(serial.wall_seconds, 2)],
+            ["parallel", len(parallel.records), workers,
+             round(parallel.wall_seconds, 2)],
+        ],
     )
+    print(f"sweep speedup: {speedup:.2f}x on {os.cpu_count()} cpus; "
+          f"per-run results identical: {identical}")
+    # Failures first: a run that fails in both legs would also make the
+    # identity check report False, pointing the maintainer at a phantom
+    # nondeterminism bug instead of the actual traceback.
+    for failure in (*serial.failures, *parallel.failures):
+        print(f"--- {failure.run_id} ---\n{failure.traceback}")
+    assert not serial.failures and not parallel.failures
+    # Determinism is hardware-independent — assert it in every mode.
+    assert identical, (
+        "parallel sweep produced different per-run results than serial "
+        "execution of the same expanded grid"
+    )
+    if smoke_mode():
+        return  # shortened runs: wall-clock is noise; no recording/assertion
+    if os.environ.get("BENCH_PERF_RECORD", "") in ("", "0"):
+        return
+    label = os.environ.get("BENCH_PERF_LABEL", "run")
+    entry = {
+        "label": f"{label}-sweep",
+        "sweep": {
+            "runs": grid.run_count(),
+            "workers": workers,
+            "cpus": os.cpu_count() or 1,
+            "per_run_sim_seconds": SWEEP_DURATION,
+            "serial_wall_seconds": round(serial.wall_seconds, 3),
+            "parallel_wall_seconds": round(parallel.wall_seconds, 3),
+            "speedup": round(speedup, 2),
+            "results_identical": identical,
+        },
+    }
+    notes = os.environ.get("BENCH_PERF_NOTES", "")
+    if notes:
+        entry["notes"] = notes
+    # Assert before recording (a failing run must not leave its entry in the
+    # trajectory).  The >= 3x claim needs cores to spread across; a 1-2 core
+    # container can only demonstrate determinism, not speedup.
+    if ((os.cpu_count() or 1) >= SWEEP_MIN_CPUS
+            and os.environ.get("BENCH_PERF_NO_ASSERT", "") in ("", "0")):
+        assert speedup >= SWEEP_SPEEDUP_TARGET, (
+            f"suite-level sweep speedup {speedup:.2f}x < "
+            f"{SWEEP_SPEEDUP_TARGET}x on {os.cpu_count()} cpus "
+            "(set BENCH_PERF_NO_ASSERT=1 on constrained hardware)"
+        )
+    _append_trajectory(entry)

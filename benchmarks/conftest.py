@@ -10,7 +10,6 @@ from __future__ import annotations
 
 import os
 import sys
-from typing import Iterable, List, Sequence
 
 import pytest
 
@@ -18,20 +17,7 @@ _SRC = os.path.join(os.path.dirname(__file__), "..", "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
 
-
-def print_table(title: str, header: Sequence[str], rows: Iterable[Sequence[object]]) -> None:
-    """Print one experiment's result table in a fixed-width layout."""
-    rows = [list(map(str, row)) for row in rows]
-    widths = [len(h) for h in header]
-    for row in rows:
-        for i, cell in enumerate(row):
-            widths[i] = max(widths[i], len(cell))
-    line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(header))
-    print(f"\n=== {title} ===")
-    print(line)
-    print("-" * len(line))
-    for row in rows:
-        print("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+from repro.experiments.reporting import print_table  # noqa: E402
 
 
 @pytest.fixture()

@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""Run a scenario suite across cores (``make sweep``).
+
+Expands every scenario in the chosen suite into seeded runs, executes them on
+a process pool, streams per-run progress, and prints one merged report row
+per grid cell.  Per-run results are byte-identical to a serial execution of
+the same expansion (see ``repro.parallel``), so worker count is purely a
+wall-clock knob:
+
+    python scripts/run_sweep.py --suite standard --workers auto
+    python scripts/run_sweep.py --suite smoke --workers 2 --replicates 4
+    python scripts/run_sweep.py --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.experiments.reporting import print_table  # noqa: E402
+from repro.parallel.scenarios import suites  # noqa: E402
+from repro.parallel.spec import RunSpec, SweepGrid, derive_seeds  # noqa: E402
+from repro.parallel.executor import run_sweep  # noqa: E402
+from repro.parallel.results import SweepResult  # noqa: E402
+
+
+def build_runs(suite_name: str, replicates: int, base_seed: int,
+               only: str | None) -> list[RunSpec]:
+    """Expand every suite scenario into one combined, re-indexed run list.
+
+    Each scenario gets its own child base seed (spawned from ``base_seed``)
+    so no two scenarios share per-run seeds; within a scenario, seeds come
+    from the grid expansion exactly as in any other sweep.
+    """
+    scenarios = suites()[suite_name]
+    # Seeds are assigned from each scenario's position in the UNFILTERED
+    # suite, then the filter applies — so `--only cache-tier` replays the
+    # exact per-run seeds that scenario had in a full-suite run (the whole
+    # point of expansion-time seeding).
+    seeded = list(zip(scenarios, derive_seeds(base_seed, len(scenarios))))
+    if only:
+        seeded = [(s, seed) for s, seed in seeded if only in s.name]
+        if not seeded:
+            raise SystemExit(f"no scenario in suite {suite_name!r} matches {only!r}")
+    runs: list[RunSpec] = []
+    for scenario, seed in seeded:
+        grid = SweepGrid(scenario=scenario, replicates=replicates, base_seed=seed)
+        for run in grid.expand():
+            run.index = len(runs)
+            runs.append(run)
+    return runs
+
+
+def print_cell_table(result: SweepResult) -> None:
+    reports = [report.summary() for report in result.cell_reports()]
+    if not reports:
+        print("no successful runs")
+        return
+    header = list(reports[0].keys())
+    print_table("merged per-cell reports", header,
+                [[row[column] for column in header] for row in reports])
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--suite", default="standard", choices=sorted(suites()),
+                        help="scenario suite to run (default: standard)")
+    parser.add_argument("--workers", default="auto",
+                        help="process count, or 'auto' for the core count")
+    parser.add_argument("--replicates", type=int, default=1,
+                        help="seeded repetitions of every scenario (default: 1)")
+    parser.add_argument("--base-seed", type=int, default=0,
+                        help="root seed the per-run seeds are spawned from")
+    parser.add_argument("--only", default=None,
+                        help="run only scenarios whose name contains this substring")
+    parser.add_argument("--list", action="store_true",
+                        help="list the suite's scenarios and exit")
+    args = parser.parse_args()
+
+    if args.list:
+        for name, members in sorted(suites().items()):
+            print(f"{name}:")
+            for scenario in members:
+                print(f"  {scenario.name}: {scenario.trace.kind} trace, "
+                      f"{scenario.duration:.0f} sim-s, {scenario.n_users} users")
+        return 0
+
+    workers = os.cpu_count() or 1 if args.workers == "auto" else int(args.workers)
+    runs = build_runs(args.suite, args.replicates, args.base_seed, args.only)
+    print(f"suite {args.suite!r}: {len(runs)} runs on {workers} workers "
+          f"(base seed {args.base_seed})")
+
+    def progress(completed: int, total: int, record) -> None:
+        status = "ok" if record.ok else f"FAILED ({record.error_type})"
+        print(f"  [{completed}/{total}] {record.run_id}: {status} "
+              f"({record.wall_seconds:.1f}s)", flush=True)
+
+    result = run_sweep(runs, workers=workers, progress=progress)
+    print(f"\nsweep wall-clock: {result.wall_seconds:.1f}s "
+          f"on {result.workers} workers")
+    print_cell_table(result)
+    for failure in result.failures:
+        print(f"\n--- {failure.run_id} (seed {failure.seed}) ---")
+        print(failure.traceback)
+    return 1 if result.failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

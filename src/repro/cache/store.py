@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Any, Dict, Hashable, Optional, Set, Tuple
+from typing import Any, Dict, Hashable, Optional, Tuple
 
 from repro.storage.records import Key, KeyRange
 
@@ -37,6 +37,9 @@ class CacheStats:
     ttl_expirations: int = 0
     lru_evictions: int = 0
     invalidations: int = 0
+    # Range lookups served by *containment* — a narrower scan answered from a
+    # wider cached entry (a subset of ``hits``).
+    containment_hits: int = 0
 
     @property
     def lookups(self) -> int:
@@ -87,12 +90,24 @@ class StalenessBudgetCache:
             ``max(1, len(rows))``.
     """
 
+    # Containment lookups examine at most this many range entries per miss:
+    # the scan is Python-loop work on the read hot path, so its worst case
+    # must stay bounded even when a namespace accumulates thousands of
+    # distinct cached scans.  Entries beyond the cap simply cannot serve by
+    # containment (the exact-token path is unaffected).
+    CONTAINMENT_SCAN_CAP = 128
+
     def __init__(self, capacity: int = 4096) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.capacity = capacity
         self._entries: "OrderedDict[EntryToken, CacheEntry]" = OrderedDict()
-        self._ranges_by_namespace: Dict[str, Set[EntryToken]] = {}
+        # Token "sets" are insertion-ordered dicts, NOT sets: containment
+        # picks the first covering entry, and set iteration order varies with
+        # the interpreter's hash seed — which would let two invocations of
+        # the same seeded run serve (and LRU-refresh) different entries,
+        # breaking the sweep fabric's serial/parallel reproducibility.
+        self._ranges_by_namespace: Dict[str, Dict[EntryToken, None]] = {}
         self._cost_total = 0
         self.stats = CacheStats()
 
@@ -129,6 +144,89 @@ class StalenessBudgetCache:
         """The entry under ``token`` regardless of expiry, without counting
         a lookup or touching LRU order (tests and introspection)."""
         return self._entries.get(token)
+
+    def get_range(self, namespace: str, start: Optional[Key], end: Optional[Key],
+                  limit: Optional[int], reverse: bool, now: float) -> Optional[list]:
+        """Rows for one bounded range read, exact-token or by containment.
+
+        The exact parameter token is tried first (the common repeated-query
+        case).  On an exact miss, a *wider* cached entry whose range contains
+        the requested one can serve it — the paginated-query pattern, where a
+        ``limit 20`` scan should hit on the rows a ``limit 50`` scan of the
+        same prefix already fetched — provided the wider entry is **complete**
+        (it was not truncated by its own limit, so its rows are the full
+        contents of its range; a truncated entry's coverage ends at an unknown
+        key and serving from it could fabricate a gap).  The derived answer
+        filters the wider entry's rows to the requested bounds, reorients if
+        the scan directions differ, and applies the requested limit.
+
+        One hit or one miss is counted per call; a containment serve also
+        refreshes the serving entry's LRU position and counts in
+        ``stats.containment_hits``.  When several cached entries could serve,
+        the oldest-admitted one wins (insertion order — deterministic across
+        interpreter invocations, unlike set order); the scan examines at most
+        ``CONTAINMENT_SCAN_CAP`` entries per miss to bound its hot-path cost.
+        """
+        entry = self._entries.get(range_token(namespace, start, end, limit, reverse))
+        if entry is not None:
+            if entry.expired(now):
+                self._remove(entry.token)
+                self.stats.ttl_expirations += 1
+            else:
+                self._entries.move_to_end(entry.token)
+                self.stats.hits += 1
+                return list(entry.value)
+        served = self._containment_lookup(namespace, start, end, limit, reverse, now)
+        if served is not None:
+            self.stats.hits += 1
+            self.stats.containment_hits += 1
+            return served
+        self.stats.misses += 1
+        return None
+
+    def _containment_lookup(self, namespace: str, start: Optional[Key],
+                            end: Optional[Key], limit: Optional[int],
+                            reverse: bool, now: float) -> Optional[list]:
+        tokens = self._ranges_by_namespace.get(namespace)
+        if not tokens:
+            return None
+        doomed = []
+        served: Optional[list] = None
+        examined = 0
+        for rtoken in tokens:
+            if examined >= self.CONTAINMENT_SCAN_CAP:
+                break
+            examined += 1
+            entry = self._entries.get(rtoken)
+            if entry is None or entry.key_range is None:
+                continue
+            if entry.expired(now):
+                doomed.append(rtoken)
+                continue
+            entry_limit = rtoken[4]
+            complete = entry_limit is None or len(entry.value) < entry_limit
+            if not complete:
+                continue
+            covers_low = entry.key_range.start is None or (
+                start is not None and entry.key_range.start <= start)
+            covers_high = entry.key_range.end is None or (
+                end is not None and end <= entry.key_range.end)
+            if not (covers_low and covers_high):
+                continue
+            rows = [(key, value) for key, value in entry.value
+                    if (start is None or key >= start)
+                    and (end is None or key < end)]
+            if bool(rtoken[5]) != reverse:
+                rows.reverse()
+            if limit is not None:
+                rows = rows[:limit]
+            self._entries.move_to_end(rtoken)
+            served = rows
+            break
+        for rtoken in doomed:
+            self._remove(rtoken)
+            self.stats.ttl_expirations += 1
+        return served
 
     # --------------------------------------------------------------- admission
 
@@ -177,7 +275,7 @@ class StalenessBudgetCache:
         self._entries[entry.token] = entry
         self._cost_total += entry.cost
         if entry.key_range is not None:
-            self._ranges_by_namespace.setdefault(entry.namespace, set()).add(entry.token)
+            self._ranges_by_namespace.setdefault(entry.namespace, {})[entry.token] = None
         self.stats.insertions += 1
         while self._cost_total > self.capacity and self._entries:
             victim_token = next(iter(self._entries))
@@ -237,6 +335,6 @@ class StalenessBudgetCache:
         if entry.key_range is not None:
             tokens = self._ranges_by_namespace.get(entry.namespace)
             if tokens is not None:
-                tokens.discard(token)
+                tokens.pop(token, None)
                 if not tokens:
                     del self._ranges_by_namespace[entry.namespace]

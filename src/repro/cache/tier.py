@@ -16,12 +16,7 @@ from typing import Any, List, Optional, Tuple
 
 from repro.cache.invalidation import WriteThroughInvalidator
 from repro.cache.policy import AdmissionPolicy
-from repro.cache.store import (
-    CacheEntry,
-    StalenessBudgetCache,
-    entity_token,
-    range_token,
-)
+from repro.cache.store import CacheEntry, StalenessBudgetCache, entity_token
 from repro.core.consistency.sessions import Session
 from repro.core.consistency.spec import ConsistencySpec
 from repro.sim.latency import LogNormalLatency
@@ -116,15 +111,18 @@ class CacheTier:
     def lookup_range(self, namespace: str, start: Optional[Key],
                      end: Optional[Key], limit: Optional[int],
                      reverse: bool) -> Optional[List[Tuple[Key, Any]]]:
-        """Cached rows for one bounded range read, or None on miss."""
+        """Cached rows for one bounded range read, or None on miss.
+
+        Served under the exact scan parameters when possible, otherwise by
+        *containment* from a wider complete cached scan (see
+        :meth:`~repro.cache.store.StalenessBudgetCache.get_range`) — the
+        narrower answer inherits the wider entry's TTL, which is at least as
+        conservative as the one a fresh fill would get.
+        """
         if not self.config.cache_ranges or not self.policy.cacheable():
             return None
-        entry = self.store.get(
-            range_token(namespace, start, end, limit, reverse), self._sim.now
-        )
-        if entry is None:
-            return None
-        return list(entry.value)
+        return self.store.get_range(namespace, start, end, limit, reverse,
+                                    self._sim.now)
 
     def admits_ranges(self) -> bool:
         """Would :meth:`admit_range` accept a fill right now?

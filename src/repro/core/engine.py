@@ -92,7 +92,7 @@ from repro.core.query.plans import (
     reverse_index_namespace,
 )
 from repro.core.schema import EntitySchema, Relationship, SchemaRegistry
-from repro.metrics.percentiles import LatencyRecorder
+from repro.metrics.percentiles import LatencyRecorder, PercentileEstimator
 from repro.metrics.sla import SLATracker
 from repro.ml.forecaster import WorkloadForecaster
 from repro.ml.performance_model import LatencyPercentileModel, PropagationLagModel
@@ -209,6 +209,10 @@ class Scads:
             Defaults to off (every read pays full cluster latency).
     """
 
+    # Samples kept in the cluster-served-read window when nothing drains it
+    # (see _record_op); a monitor-drained window never approaches this.
+    CLUSTER_READ_WINDOW_CAP = 100_000
+
     def __init__(
         self,
         seed: int = 0,
@@ -302,6 +306,10 @@ class Scads:
             for op, sla in self.slas.items()
         }
         self._op_counts: Dict[str, int] = {"read": 0, "write": 0}
+        # Latencies of reads the *cluster* served this control window (cache
+        # hits excluded).  When cache absorption blends the window's read
+        # percentile, this is the clean label the latency model trains on.
+        self._cluster_read_window = PercentileEstimator()
         self._queries: Dict[str, CompiledQuery] = {}
         self._window_lag_max = 0.0
         self.cluster.replication.add_lag_listener(self._on_replication_lag)
@@ -505,7 +513,7 @@ class Scads:
             served = self._cached_entity_read(namespace, key, session)
             if served is not None:
                 row, latency = served
-                self._record_op("read", latency, True)
+                self._record_op("read", latency, True, cluster_served=False)
                 return OperationOutcome(success=True, latency=latency, row=row)
         value, latency, success, stale, error, freshness = self._consistent_read(
             namespace, key, session)
@@ -522,12 +530,18 @@ class Scads:
         """Execute a registered query template with bound parameters."""
         compiled = self.compiled_query(name)
         session = self.sessions.get(session_id) if session_id is not None else None
+        # A query is one client read op, but several cache lookups; classify
+        # the op as cluster-served (for the miss-path latency label) when any
+        # of its sub-reads actually reached the cluster — its latency is then
+        # dominated by cluster service, not front-tier memory.
+        touched_cluster = [self.cache is None]
 
         def range_read(namespace, start, end, limit, reverse):
             if self.cache is not None:
                 cached = self.cache.lookup_range(namespace, start, end, limit, reverse)
                 if cached is not None:
                     return cached, self.cache.sample_hit_latency()
+            touched_cluster[0] = True
             # A scan that will be *cached* reads the primary: a lagging
             # replica could hand us rows missing an index write that was
             # already applied — and whose apply-time invalidation therefore
@@ -552,6 +566,7 @@ class Scads:
             served = self._cached_entity_read(namespace, key, session)
             if served is not None:
                 return served
+            touched_cluster[0] = True
             value, latency, success, stale, _, freshness = self._consistent_read(
                 namespace, key, session)
             if success:
@@ -562,7 +577,8 @@ class Scads:
 
         executor = QueryExecutor(range_read, entity_get)
         result = executor.execute(compiled.plan, params)
-        self._record_op("read", result.latency, True)
+        self._record_op("read", result.latency, True,
+                        cluster_served=touched_cluster[0])
         return result
 
     # ------------------------------------------------------------- cache tier glue
@@ -738,6 +754,23 @@ class Scads:
             return (0, 0)
         return self.cache.hit_counts()
 
+    def drain_cluster_read_window(self) -> Optional[PercentileEstimator]:
+        """Latencies of cluster-served reads since the last drain, or None.
+
+        WorkloadStatsProvider: the monitor drains this every control window.
+        Cache hits never land here, so on windows where the blended read
+        percentile is poisoned by sub-millisecond front-tier service times
+        this is still an honest cluster-latency label.  Draining hands the
+        estimator over and starts a fresh window.  Only populated when a
+        cache tier is attached (always None — and cost-free — otherwise; an
+        uncached window's tracker report already IS the cluster label).
+        """
+        if len(self._cluster_read_window) == 0:
+            return None
+        window = self._cluster_read_window
+        self._cluster_read_window = PercentileEstimator()
+        return window
+
     def _note_index_write(self, namespace: str, key: Key) -> None:
         """Adapter hook: an index/reverse-index entry was written; invalidate
         the cached query scans covering it."""
@@ -748,11 +781,24 @@ class Scads:
         if record.lag is not None:
             self._window_lag_max = max(self._window_lag_max, record.lag)
 
-    def _record_op(self, op_type: str, latency: float, success: bool) -> None:
+    def _record_op(self, op_type: str, latency: float, success: bool,
+                   cluster_served: bool = True) -> None:
         self._op_counts[op_type] = self._op_counts.get(op_type, 0) + 1
         self._trackers[op_type].observe(latency if success else None, success)
         if success:
             self.latencies.record(op_type, latency)
+            # Only cache-attached engines track the miss path: the label is
+            # consumed solely on blended windows (impossible without a
+            # cache), and an uncached engine would otherwise pay per-read
+            # work and unbounded growth whenever no monitor drains it.
+            if cluster_served and op_type == "read" and self.cache is not None:
+                self._cluster_read_window.add(latency)
+                # With no monitor draining per control window (autoscale off),
+                # the window would grow without bound; past the cap nothing is
+                # consuming the label, so resetting loses nothing.  A drained
+                # window stays orders of magnitude below the cap.
+                if len(self._cluster_read_window) > self.CLUSTER_READ_WINDOW_CAP:
+                    self._cluster_read_window.reset()
 
     # ----------------------------------------------------------------- reporting
 

@@ -41,6 +41,16 @@ class WorkloadStatsProvider(Protocol):
         falls back to (0, 0) via ``getattr``).
         """
 
+    def drain_cluster_read_window(self):
+        """Latencies of reads the *cluster* served this window (cache hits
+        excluded), as a :class:`~repro.metrics.percentiles.PercentileEstimator`
+        — or None when the window had none.
+
+        Optional, like :meth:`cache_hit_counts`: the monitor probes via
+        ``getattr`` and simply keeps the pre-existing skip-on-blend behaviour
+        when the provider cannot separate the miss path.
+        """
+
 
 @dataclass
 class WindowObservation:
@@ -59,6 +69,10 @@ class WindowObservation:
     # the cluster saw only ``request_rate * (1 - cache_hit_rate)`` of it, and
     # ``features`` are built from that cluster-side rate.
     cache_hit_rate: float = 0.0
+    # SLA-percentile latency over only the reads the cluster served this
+    # window (None when the provider cannot separate them, or none happened).
+    # On blended windows this replaces the poisoned blended label.
+    cluster_read_percentile: Optional[float] = None
 
     def any_sla_violated(self) -> bool:
         return any(not report.satisfied for report in self.sla_reports.values())
@@ -165,6 +179,7 @@ class SLAMonitor:
             reports[op_type] = tracker.close_window()
 
         max_lag = self._provider.recent_max_propagation_lag()
+        cluster_read_percentile = self._drain_cluster_read_percentile()
         observation = WindowObservation(
             time=now,
             duration=duration,
@@ -175,10 +190,28 @@ class SLAMonitor:
             pending_maintenance=pending,
             max_propagation_lag=max_lag,
             cache_hit_rate=cache_hit_rate,
+            cluster_read_percentile=cluster_read_percentile,
         )
         self._train(observation)
         self._observations.append(observation)
         return observation
+
+    def _drain_cluster_read_percentile(self) -> Optional[float]:
+        """SLA-percentile latency of this window's cluster-served reads.
+
+        Drained every window (whether or not training uses it) so the
+        provider's miss-path estimator stays windowed; None when the provider
+        predates the miss-path tracker or the window had no cluster reads.
+        """
+        drain = getattr(self._provider, "drain_cluster_read_window", None)
+        if not callable(drain):
+            return None
+        window = drain()
+        if window is None or len(window) == 0:
+            return None
+        read_sla = self._slas.get("read")
+        percentile = read_sla.percentile if read_sla is not None else 99.0
+        return window.percentile(percentile)
 
     def _window_cache_hit_rate(self, write_fraction: float) -> float:
         """Fraction of this window's client demand the cache tier absorbed.
@@ -216,24 +249,36 @@ class SLAMonitor:
         # optionally excluded: their tail latency reflects *placement*, not
         # capacity, and training on them teaches the capacity model that
         # adding nodes never helps.  The repartition branch owns that regime.
-        # Windows with material cache absorption are excluded for the dual
-        # reason: the observed percentile blends sub-millisecond cache hits
-        # with cluster reads, so the label says "this cluster rate is
-        # harmless" when it is the *cache* that made it harmless — a model
-        # trained on that under-provisions the moment the hit rate drops.
-        train_latency = not (
+        # Windows with material cache absorption used to be excluded outright
+        # for the dual reason: the observed *read* percentile blends
+        # sub-millisecond cache hits with cluster reads, so the label says
+        # "this cluster rate is harmless" when it is the *cache* that made it
+        # harmless — a model trained on that under-provisions the moment the
+        # hit rate drops.  With a provider that tracks the miss path
+        # separately, the blend is repaired instead of skipped: the read
+        # label becomes the cluster-served-reads-only percentile (which
+        # matches the cluster-side features by construction), so the model
+        # keeps learning while the cache is hot.  Providers without the
+        # tracker keep the old skip.
+        hotspot_window = (
             self._exclude_hotspot_training
             and observation.features.max_utilisation
             >= self._hotspot_skew_ratio * max(observation.features.mean_utilisation, 1e-9)
             and observation.features.max_utilisation >= 0.3
-        ) and observation.cache_hit_rate < self.CACHE_BLEND_TRAINING_CUTOFF
+        )
+        blended_window = observation.cache_hit_rate >= self.CACHE_BLEND_TRAINING_CUTOFF
         for op_type, sla in self._slas.items():
             report = observation.sla_reports.get(op_type)
             if report is None or report.request_count == 0:
                 continue
-            if train_latency:
-                self._latency_model.observe(observation.features,
-                                            report.observed_percentile_latency)
+            if hotspot_window:
+                continue
+            label = report.observed_percentile_latency
+            if blended_window and op_type == "read":
+                if observation.cluster_read_percentile is None:
+                    continue  # no clean label available: keep the old skip
+                label = observation.cluster_read_percentile
+            self._latency_model.observe(observation.features, label)
         self._lag_model.observe(
             pending_updates=observation.pending_maintenance,
             per_node_rate=observation.features.per_node_rate,

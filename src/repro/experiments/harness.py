@@ -28,9 +28,10 @@ from repro.core.consistency.spec import (
 )
 from repro.core.engine import Scads
 from repro.metrics.cost import CostReport
+from repro.metrics.percentiles import PercentileEstimator
 from repro.metrics.sla import SLAReport
 from repro.workloads.generator import LoadGenerator
-from repro.workloads.opmix import CloudStoneMix, OperationKind
+from repro.workloads.opmix import WRITE_HEAVY_MIX, CloudStoneMix, OperationKind
 from repro.workloads.social_graph import SocialGraph
 from repro.workloads.traces import LoadTrace
 
@@ -62,7 +63,64 @@ def smoke_scaled(full: float, smoke: float) -> float:
     return smoke if smoke_mode() else full
 
 
-@dataclass
+def _result_summary(result) -> Dict[str, object]:
+    """Flat dictionary used by the benchmark harnesses' printed tables.
+
+    Shared by :class:`ClosedLoopResult` (in-process, carries the live engine)
+    and :class:`ClosedLoopSummary` (the picklable subset a sweep worker ships
+    back), so both render identically.
+    """
+    return {
+        "duration_s": round(result.duration, 1),
+        "operations": result.operations,
+        "read_p_latency_ms": round(result.read_report.observed_percentile_latency * 1000, 2),
+        "read_sla_met": result.read_report.satisfied,
+        "write_p_latency_ms": round(result.write_report.observed_percentile_latency * 1000, 2),
+        "peak_nodes": result.peak_nodes,
+        "final_nodes": result.final_nodes,
+        "scale_ups": result.scale_ups,
+        "scale_downs": result.scale_downs,
+        "dollars": round(result.cost.dollars, 3),
+        "machine_hours": round(result.cost.machine_hours, 1),
+        "max_replication_lag_s": round(result.max_replication_lag, 3),
+        "deadline_miss_rate": round(result.deadline_miss_rate, 4),
+    }
+
+
+@dataclass(slots=True)
+class ClosedLoopSummary:
+    """The cross-process-portable summary of one closed-loop run.
+
+    Everything here is plain data (dataclasses, numpy arrays, dicts of
+    primitives) so a sweep worker can pickle it back to the parent process —
+    no engine, app, or simulator references.  The latency estimators carry
+    the run's full sample distributions, which is what makes grid cells and
+    replicates *mergeable* (exact combined percentiles via
+    :meth:`~repro.metrics.percentiles.PercentileEstimator.merge`) without
+    shipping or re-sorting raw sample streams per query.
+    """
+
+    duration: float
+    operations: int
+    read_report: SLAReport
+    write_report: SLAReport
+    cost: CostReport
+    peak_nodes: int
+    final_nodes: int
+    scale_ups: int
+    scale_downs: int
+    max_replication_lag: float
+    deadline_miss_rate: float
+    operation_counts: Dict[str, int]
+    read_latency: Optional[PercentileEstimator]
+    write_latency: Optional[PercentileEstimator]
+    cache_hit_rate: float = 0.0
+
+    def summary(self) -> Dict[str, object]:
+        return _result_summary(self)
+
+
+@dataclass(slots=True)
 class ClosedLoopResult:
     """Everything a benchmark needs to report about one closed-loop run."""
 
@@ -82,21 +140,33 @@ class ClosedLoopResult:
 
     def summary(self) -> Dict[str, object]:
         """Flat dictionary used by the benchmark harnesses' printed tables."""
-        return {
-            "duration_s": round(self.duration, 1),
-            "operations": self.operations,
-            "read_p_latency_ms": round(self.read_report.observed_percentile_latency * 1000, 2),
-            "read_sla_met": self.read_report.satisfied,
-            "write_p_latency_ms": round(self.write_report.observed_percentile_latency * 1000, 2),
-            "peak_nodes": self.peak_nodes,
-            "final_nodes": self.final_nodes,
-            "scale_ups": self.scale_ups,
-            "scale_downs": self.scale_downs,
-            "dollars": round(self.cost.dollars, 3),
-            "machine_hours": round(self.cost.machine_hours, 1),
-            "max_replication_lag_s": round(self.max_replication_lag, 3),
-            "deadline_miss_rate": round(self.deadline_miss_rate, 4),
-        }
+        return _result_summary(self)
+
+    def portable(self) -> ClosedLoopSummary:
+        """Extract the picklable summary (drops the engine/app references)."""
+
+        def estimator(op_type: str) -> Optional[PercentileEstimator]:
+            recorder = self.engine.latencies
+            return (recorder.all_time(op_type)
+                    if op_type in recorder.op_types() else None)
+
+        return ClosedLoopSummary(
+            duration=self.duration,
+            operations=self.operations,
+            read_report=self.read_report,
+            write_report=self.write_report,
+            cost=self.cost,
+            peak_nodes=self.peak_nodes,
+            final_nodes=self.final_nodes,
+            scale_ups=self.scale_ups,
+            scale_downs=self.scale_downs,
+            max_replication_lag=self.max_replication_lag,
+            deadline_miss_rate=self.deadline_miss_rate,
+            operation_counts=dict(self.engine.cumulative_operation_counts()),
+            read_latency=estimator("read"),
+            write_latency=estimator("write"),
+            cache_hit_rate=self.engine.cache_hit_rate(),
+        )
 
 
 def default_spec(
@@ -127,8 +197,14 @@ def build_engine_and_app(
     register_friends_of_friends: bool = False,
     updates_per_second_per_node: float = 100.0,
     fifo_updates: bool = False,
+    engine_kwargs: Optional[Dict[str, object]] = None,
 ) -> Tuple[Scads, SocialNetworkApp, SocialGraph]:
-    """Build an engine + social app and bulk-load a synthetic graph."""
+    """Build an engine + social app and bulk-load a synthetic graph.
+
+    ``engine_kwargs`` are forwarded verbatim to :class:`Scads` — this is how
+    declarative sweep specs reach knobs the harness does not name explicitly
+    (``cache=...``, ``repartition=...``, ``partitioner_kind=...``).
+    """
     engine = Scads(
         seed=seed,
         consistency=spec or default_spec(),
@@ -139,6 +215,7 @@ def build_engine_and_app(
         control_interval=control_interval,
         updates_per_second_per_node=updates_per_second_per_node,
         fifo_updates=fifo_updates,
+        **(engine_kwargs or {}),
     )
     app = SocialNetworkApp(
         engine,
@@ -171,6 +248,7 @@ def run_closed_loop(
     write_heavy: bool = False,
     instance_type: InstanceType = SCALED_DOWN_INSTANCE,
     fifo_updates: bool = False,
+    engine_kwargs: Optional[Dict[str, object]] = None,
 ) -> ClosedLoopResult:
     """Run one complete closed-loop experiment and collect its results."""
     engine, app, graph = build_engine_and_app(
@@ -184,12 +262,11 @@ def run_closed_loop(
         control_interval=control_interval,
         instance_type=instance_type,
         fifo_updates=fifo_updates,
+        engine_kwargs=engine_kwargs,
     )
     engine.start()
     mix = CloudStoneMix(graph, engine.sim.random.get("workload-mix"))
     if write_heavy:
-        from repro.workloads.opmix import WRITE_HEAVY_MIX
-
         mix.set_mix(WRITE_HEAVY_MIX)
     generator = LoadGenerator(
         engine.sim, trace, mix, app.execute, sampling_fraction=sampling_fraction

@@ -1,0 +1,137 @@
+"""``BENCH_PERF.json`` access with schema validation.
+
+The perf trajectory is append-only measurement history: every entry a future
+PR reads to judge a speedup claim.  A malformed recording (a typoed section
+name, a string where a number belongs, a forgotten field) used to be
+discovered only when some later comparison crashed or — worse — silently
+skipped the entry.  This module makes the schema explicit and *fails fast*:
+entries are validated both when appended and when loaded, so a bad recording
+dies in the run that produced it.
+
+Schema: a JSON list of entries, oldest first.  Each entry is an object with
+a non-empty ``label``, an optional free-text ``notes`` string (hardware
+caveats and the like), and at least one known measurement section:
+
+* ``scenario`` — the frozen single-run closed-loop scenario;
+* ``event_queue`` — the bare discrete-event kernel microbench;
+* ``sweep`` — the suite-level serial-vs-parallel sweep comparison.
+
+Unknown entry keys, unknown section fields, and missing section fields are
+all rejected.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List
+
+# field name -> required type family: "int" (exact integers), "number"
+# (int or float), "bool".
+SECTION_FIELDS: Dict[str, Dict[str, str]] = {
+    "scenario": {
+        "ops": "int",
+        "events": "int",
+        "wall_seconds": "number",
+        "ops_per_wall_sec": "number",
+    },
+    "event_queue": {
+        "events": "int",
+        "wall_seconds": "number",
+        "events_per_wall_sec": "number",
+    },
+    "sweep": {
+        "runs": "int",
+        "workers": "int",
+        "cpus": "int",
+        "per_run_sim_seconds": "number",
+        "serial_wall_seconds": "number",
+        "parallel_wall_seconds": "number",
+        "speedup": "number",
+        "results_identical": "bool",
+    },
+}
+
+ENTRY_KEYS = {"label", "notes", *SECTION_FIELDS}
+
+
+class PerfLogSchemaError(ValueError):
+    """A BENCH_PERF.json entry does not match the recording schema."""
+
+
+def _check_field(section: str, name: str, value: Any, kind: str) -> None:
+    if kind == "bool":
+        if not isinstance(value, bool):
+            raise PerfLogSchemaError(
+                f"{section}.{name} must be a boolean, got {value!r}")
+        return
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise PerfLogSchemaError(
+            f"{section}.{name} must be a number, got {value!r}")
+    if kind == "int" and not isinstance(value, int):
+        raise PerfLogSchemaError(
+            f"{section}.{name} must be an integer, got {value!r}")
+    if value < 0:
+        raise PerfLogSchemaError(
+            f"{section}.{name} must be non-negative, got {value!r}")
+
+
+def validate_entry(entry: Any) -> Dict[str, Any]:
+    """Check one trajectory entry against the schema; returns it unchanged."""
+    if not isinstance(entry, dict):
+        raise PerfLogSchemaError(f"entry must be an object, got {type(entry).__name__}")
+    label = entry.get("label")
+    if not isinstance(label, str) or not label:
+        raise PerfLogSchemaError(f"entry needs a non-empty string label, got {label!r}")
+    if "notes" in entry and not isinstance(entry["notes"], str):
+        raise PerfLogSchemaError("notes must be a string when present")
+    unknown = set(entry) - ENTRY_KEYS
+    if unknown:
+        raise PerfLogSchemaError(
+            f"entry {label!r} has unknown keys {sorted(unknown)} "
+            f"(known: {sorted(ENTRY_KEYS)})")
+    sections = [name for name in SECTION_FIELDS if name in entry]
+    if not sections:
+        raise PerfLogSchemaError(
+            f"entry {label!r} records no measurement section "
+            f"(expected one of {sorted(SECTION_FIELDS)})")
+    for name in sections:
+        section = entry[name]
+        if not isinstance(section, dict):
+            raise PerfLogSchemaError(f"{label!r}.{name} must be an object")
+        fields = SECTION_FIELDS[name]
+        missing = set(fields) - set(section)
+        if missing:
+            raise PerfLogSchemaError(
+                f"{label!r}.{name} is missing fields {sorted(missing)}")
+        extra = set(section) - set(fields)
+        if extra:
+            raise PerfLogSchemaError(
+                f"{label!r}.{name} has unknown fields {sorted(extra)}")
+        for field_name, kind in fields.items():
+            _check_field(name, field_name, section[field_name], kind)
+    return entry
+
+
+def load_trajectory(path: str, validate: bool = True) -> List[Dict[str, Any]]:
+    """Load the trajectory list ([] when the file does not exist yet)."""
+    if not os.path.exists(path):
+        return []
+    with open(path) as fh:
+        trajectory = json.load(fh)
+    if not isinstance(trajectory, list):
+        raise PerfLogSchemaError("BENCH_PERF.json must hold a JSON list of entries")
+    if validate:
+        for entry in trajectory:
+            validate_entry(entry)
+    return trajectory
+
+
+def append_entry(path: str, entry: Dict[str, Any]) -> None:
+    """Validate ``entry`` and append it to the trajectory file."""
+    validate_entry(entry)
+    trajectory = load_trajectory(path)
+    trajectory.append(entry)
+    with open(path, "w") as fh:
+        json.dump(trajectory, fh, indent=2)
+        fh.write("\n")

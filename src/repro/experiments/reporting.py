@@ -1,0 +1,26 @@
+"""Shared result-table rendering.
+
+One fixed-width formatter for everything that prints experiment tables —
+the benchmark suite's ``table_printer`` fixture and the sweep runner — so
+the layout cannot silently diverge between surfaces.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def print_table(title: str, header: Sequence[str],
+                rows: Iterable[Sequence[object]]) -> None:
+    """Print one experiment's result table in a fixed-width layout."""
+    rows = [list(map(str, row)) for row in rows]
+    widths = [len(h) for h in header]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(header))
+    print(f"\n=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))

@@ -30,6 +30,30 @@ class CostReport:
         """Dollars per million requests — the unit used in EXPERIMENTS.md."""
         return self.cost_per_request() * 1_000_000
 
+    def merge(self, other: "CostReport") -> "CostReport":
+        """Combine the bills of two independent runs (or grid cells).
+
+        Machine-hours, dollars, and request counts are additive.  Peak
+        instances is the max (the runs did not share a cluster, so the
+        interesting peak is the worst single run's).  Mean instances is
+        weighted by machine-hours — instance-count integrated over time is
+        what machine-hours measures, so this reproduces the mean over the
+        combined machine-time.
+        """
+        hours = self.machine_hours + other.machine_hours
+        if hours > 0:
+            mean = (self.mean_instances * self.machine_hours
+                    + other.mean_instances * other.machine_hours) / hours
+        else:
+            mean = (self.mean_instances + other.mean_instances) / 2.0
+        return CostReport(
+            machine_hours=hours,
+            dollars=self.dollars + other.dollars,
+            requests_served=self.requests_served + other.requests_served,
+            peak_instances=max(self.peak_instances, other.peak_instances),
+            mean_instances=mean,
+        )
+
     def savings_vs(self, other: "CostReport") -> float:
         """Fractional savings of this run relative to ``other`` (positive = cheaper)."""
         if other.dollars == 0:

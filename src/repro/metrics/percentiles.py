@@ -124,6 +124,52 @@ class PercentileEstimator:
         arr = self._merged()
         return float(np.searchsorted(arr, threshold, side="left")) / arr.shape[0]
 
+    def merge(self, other: "PercentileEstimator") -> "PercentileEstimator":
+        """Fold another estimator's samples into this one and return ``self``.
+
+        Both sides' sorted caches are combined with one ``searchsorted`` +
+        ``insert`` pass (O(n + m)), never a re-sort of the concatenated raw
+        samples — this is what lets a parallel sweep aggregate per-run
+        estimators into grid-cell summaries cheaply.  The result answers
+        every query exactly as an estimator fed the concatenation of both
+        sample streams would (asserted by the sweep determinism tests).
+        ``other`` is not modified beyond flushing its pending buffer into its
+        own sorted cache.
+        """
+        if len(other) == 0:
+            return self
+        incoming = other._merged()
+        if len(self) == 0:
+            self._sorted = incoming.copy()
+        else:
+            base = self._merged()
+            self._sorted = np.insert(base, np.searchsorted(base, incoming), incoming)
+        self._sum += other._sum
+        if other._max > self._max:
+            self._max = other._max
+        return self
+
+    @classmethod
+    def merged(cls, estimators) -> "PercentileEstimator":
+        """A new estimator holding the union of all given estimators' samples."""
+        result = cls()
+        for estimator in estimators:
+            result.merge(estimator)
+        return result
+
+    def fraction_at_or_below(self, threshold: float) -> float:
+        """Fraction of samples less than *or equal to* ``threshold``.
+
+        The inclusive counterpart of :meth:`fraction_below`, matching the
+        ``latency <= target`` comparison :class:`~repro.metrics.sla.SLATracker`
+        uses — e.g. for asking a merged sweep cell's estimator what
+        attainment a *different* SLA target would have had.
+        """
+        if not len(self):
+            raise ValueError("no samples recorded")
+        arr = self._merged()
+        return float(np.searchsorted(arr, threshold, side="right")) / arr.shape[0]
+
     def reset(self) -> None:
         """Drop all recorded samples."""
         self._pending.clear()

@@ -29,6 +29,54 @@ class SLAReport:
         """How far the observed percentile latency exceeds the target (<= 0 if met)."""
         return self.observed_percentile_latency - self.target_latency
 
+    def merge(self, other: "SLAReport",
+              merged_percentile_latency: Optional[float] = None) -> "SLAReport":
+        """Combine two reports over disjoint request populations.
+
+        ``observed_fraction_within`` combines exactly (it is a
+        request-count-weighted mean).  The percentile latency of a union
+        cannot be recovered from two summary percentiles; pass
+        ``merged_percentile_latency`` computed from merged
+        :class:`~repro.metrics.percentiles.PercentileEstimator` samples (what
+        the sweep aggregator does) for the exact value, otherwise the
+        pessimistic ``max`` of the two is reported.  ``satisfied`` is
+        recomputed from the combined fraction, matching
+        :meth:`SLATracker._report_over`.
+        """
+        if (self.op_type != other.op_type
+                or self.target_percentile != other.target_percentile
+                or self.target_latency != other.target_latency):
+            raise ValueError(
+                "can only merge SLAReports for the same op type and target "
+                f"({self.op_type}@p{self.target_percentile}<{self.target_latency}s vs "
+                f"{other.op_type}@p{other.target_percentile}<{other.target_latency}s)"
+            )
+        total = self.request_count + other.request_count
+        if total == 0:
+            return SLAReport(
+                op_type=self.op_type,
+                target_percentile=self.target_percentile,
+                target_latency=self.target_latency,
+                observed_fraction_within=1.0,
+                observed_percentile_latency=0.0,
+                request_count=0,
+                satisfied=True,
+            )
+        within = (self.observed_fraction_within * self.request_count
+                  + other.observed_fraction_within * other.request_count) / total
+        if merged_percentile_latency is None:
+            merged_percentile_latency = max(self.observed_percentile_latency,
+                                            other.observed_percentile_latency)
+        return SLAReport(
+            op_type=self.op_type,
+            target_percentile=self.target_percentile,
+            target_latency=self.target_latency,
+            observed_fraction_within=within,
+            observed_percentile_latency=merged_percentile_latency,
+            request_count=total,
+            satisfied=within >= self.target_percentile / 100.0,
+        )
+
 
 class SLATracker:
     """Tracks one latency/availability SLA for one operation type."""

@@ -1,0 +1,118 @@
+"""The standard scenario suite, as declarative specs.
+
+These mirror the closed-loop workloads the paper benchmarks drive through
+:func:`repro.experiments.harness.run_closed_loop` — the flat CloudStone
+closed loop the perf harness freezes, the write-heavy mix, the scale-down
+diurnal cycle, the Halloween spike, the Animoto viral ramp, and the
+cache-tier variant — so ``make sweep`` can run the whole family across
+cores from one registry.  Durations are compressed the same way the
+benchmarks compress them: every claim is about *relative* behaviour, so the
+suite keeps the phenomena (ramps outpacing boot delays, troughs deep enough
+to scale down into) at wall-clock costs a laptop can afford.
+
+``smoke_suite`` is the tiny-grid variant ``make sweep-smoke`` and the
+bench-smoke sweep harness use: seconds of simulated time per run, enough to
+prove the fan-out machinery end to end without measuring anything.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.parallel.spec import ScenarioSpec, SweepGrid, TraceSpec
+
+# The perf harness's frozen standard scenario (see
+# benchmarks/bench_perf_throughput.py) expressed as data.
+STANDARD_CLOSED_LOOP = ScenarioSpec(
+    name="standard-closed-loop",
+    trace=TraceSpec("constant", {"rate": 300.0}),
+    duration=1200.0,
+    n_users=300,
+    autoscale=True,
+    predictive_scaling=False,
+    initial_groups=4,
+    control_interval=30.0,
+)
+
+STANDARD_SUITE: List[ScenarioSpec] = [
+    STANDARD_CLOSED_LOOP,
+    ScenarioSpec(
+        name="write-heavy",
+        trace=TraceSpec("constant", {"rate": 150.0}),
+        duration=900.0,
+        n_users=300,
+        mix="write_heavy",
+        predictive_scaling=False,
+        initial_groups=4,
+    ),
+    ScenarioSpec(
+        name="diurnal-scale-down",
+        trace=TraceSpec("diurnal", {"base_rate": 40.0, "peak_rate": 200.0,
+                                    "period_hours": 1.0}),
+        duration=5400.0,
+        n_users=200,
+        initial_groups=2,
+    ),
+    ScenarioSpec(
+        name="halloween-spike",
+        trace=TraceSpec("spike", {"base_rate": 60.0, "spike_multiplier": 4.0,
+                                  "spike_start": 600.0, "rise_duration": 120.0,
+                                  "hold_duration": 900.0,
+                                  "decay_duration": 600.0}),
+        duration=3000.0,
+        n_users=200,
+        initial_groups=2,
+    ),
+    ScenarioSpec(
+        name="viral-ramp",
+        trace=TraceSpec("viral", {"start_rate": 20.0, "peak_multiplier": 10.0,
+                                  "ramp_start": 300.0,
+                                  "ramp_duration": 2400.0}),
+        duration=3600.0,
+        n_users=200,
+        initial_groups=2,
+    ),
+    ScenarioSpec(
+        name="cache-tier",
+        trace=TraceSpec("constant", {"rate": 300.0}),
+        duration=1200.0,
+        n_users=300,
+        predictive_scaling=False,
+        initial_groups=4,
+        engine_knobs={"cache": True},
+    ),
+]
+
+
+def standard_suite_grids(replicates: int = 1, base_seed: int = 0) -> List[SweepGrid]:
+    """One single-cell grid per suite scenario (replicated, seeded)."""
+    return [SweepGrid(scenario=spec, replicates=replicates, base_seed=base_seed)
+            for spec in STANDARD_SUITE]
+
+
+def smoke_scenario(duration: float = 20.0, rate: float = 30.0) -> ScenarioSpec:
+    """A seconds-long closed loop for smoke sweeps and determinism tests."""
+    return ScenarioSpec(
+        name="smoke",
+        trace=TraceSpec("constant", {"rate": rate}),
+        duration=duration,
+        n_users=40,
+        friend_cap=10,
+        initial_groups=2,
+        control_interval=10.0,
+    )
+
+
+def smoke_grid(runs: int = 4, base_seed: int = 0,
+               duration: float = 20.0, rate: float = 30.0) -> SweepGrid:
+    """The tiny grid ``make sweep-smoke`` executes with two workers."""
+    return SweepGrid(scenario=smoke_scenario(duration=duration, rate=rate),
+                     replicates=runs, base_seed=base_seed)
+
+
+def suites() -> Dict[str, List[ScenarioSpec]]:
+    """Named suites the sweep runner can be pointed at."""
+    return {
+        "standard": list(STANDARD_SUITE),
+        "smoke": [smoke_scenario()],
+    }

@@ -1,0 +1,228 @@
+"""Declarative scenario and sweep specifications.
+
+A :class:`ScenarioSpec` names one closed-loop harness scenario *as data*:
+the app population, operation mix, load trace, engine knobs, duration, and
+seed policy are all plain picklable fields, so a scenario can be shipped to a
+worker process, stored in a registry, or expanded over a parameter grid
+without capturing any live object (engine, simulator, RNG).
+
+A :class:`SweepGrid` is the FleetOpt-style sweep layer on top: a base
+scenario, named parameter axes (cartesian product), and a replicate count.
+:meth:`SweepGrid.expand` flattens the grid into an ordered list of
+:class:`RunSpec` and assigns every run its seed from
+``numpy.random.SeedSequence(base_seed).spawn(n)`` **at expansion time** —
+run *i* gets child seed *i* regardless of how many workers later execute the
+list or in what order they finish, which is what makes a parallel sweep
+bitwise-reproducible against a serial one.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.workloads.traces import (
+    AnimotoViralTrace,
+    ConstantTrace,
+    DiurnalTrace,
+    HalloweenSpikeTrace,
+    LoadTrace,
+    StepTrace,
+)
+
+# Trace construction is deferred to the worker (LoadTrace subclasses are
+# dataclasses and would pickle fine, but keeping the spec purely nominal
+# means a registry dump is human-readable JSON-shaped data).
+TRACE_KINDS = {
+    "constant": ConstantTrace,
+    "step": StepTrace,
+    "diurnal": DiurnalTrace,
+    "viral": AnimotoViralTrace,
+    "spike": HalloweenSpikeTrace,
+}
+
+MIX_KINDS = ("cloudstone", "write_heavy")
+
+
+@dataclass(slots=True)
+class TraceSpec:
+    """A load trace named as data: a registered kind plus its parameters."""
+
+    kind: str
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def build(self) -> LoadTrace:
+        """Instantiate the trace; raises ValueError for an unknown kind.
+
+        Validation happens here — in the worker — rather than at spec
+        construction, so a malformed spec in a sweep surfaces as that one
+        run's structured error record, not a parent-process crash.
+        """
+        if self.kind not in TRACE_KINDS:
+            raise ValueError(
+                f"unknown trace kind {self.kind!r}; registered: {sorted(TRACE_KINDS)}"
+            )
+        return TRACE_KINDS[self.kind](**self.params)
+
+    def with_params(self, **overrides: Any) -> "TraceSpec":
+        return TraceSpec(kind=self.kind, params={**self.params, **overrides})
+
+
+@dataclass(slots=True)
+class ScenarioSpec:
+    """One closed-loop harness scenario, named entirely as data.
+
+    The fields mirror :func:`repro.experiments.harness.run_closed_loop`'s
+    arguments; ``engine_knobs`` reaches any :class:`~repro.core.engine.Scads`
+    keyword the harness does not name explicitly (``cache=True``,
+    ``repartition=True``, ``partitioner_kind="range"``, ...).  The spec
+    deliberately has **no seed field**: seeds are assigned per run by
+    :meth:`SweepGrid.expand`, never baked into the scenario, so replicates of
+    the same cell differ only in their derived seed.
+    """
+
+    name: str
+    trace: TraceSpec
+    duration: float
+    n_users: int = 200
+    friend_cap: int = 20
+    mix: str = "cloudstone"
+    sla_latency: float = 0.150
+    sla_percentile: float = 99.0
+    staleness_bound: float = 120.0
+    read_your_writes: bool = False
+    autoscale: bool = True
+    predictive_scaling: bool = True
+    initial_groups: int = 1
+    control_interval: float = 30.0
+    sampling_fraction: float = 1.0
+    fifo_updates: bool = False
+    engine_knobs: Dict[str, Any] = field(default_factory=dict)
+
+    def with_overrides(self, **overrides: Any) -> "ScenarioSpec":
+        """A copy with the given fields replaced.
+
+        Grid axes address spec fields by name; ``"trace.<param>"`` dotted
+        names address the trace's parameters (e.g. ``"trace.rate"``), and
+        ``"engine_knobs.<name>"`` the engine knob dict, so one flat axis
+        mapping can sweep every layer.
+        """
+        trace_params: Dict[str, Any] = {}
+        knob_params: Dict[str, Any] = {}
+        flat: Dict[str, Any] = {}
+        valid = {f.name for f in fields(self)}
+        for key, value in overrides.items():
+            if key.startswith("trace."):
+                trace_params[key[len("trace."):]] = value
+            elif key.startswith("engine_knobs."):
+                knob_params[key[len("engine_knobs."):]] = value
+            elif key in valid:
+                flat[key] = value
+            else:
+                raise ValueError(
+                    f"unknown scenario parameter {key!r} "
+                    f"(fields: {sorted(valid)}; prefix trace./engine_knobs. "
+                    "for nested parameters)"
+                )
+        spec = replace(self, **flat) if flat else replace(self)
+        if trace_params:
+            spec.trace = spec.trace.with_params(**trace_params)
+        if knob_params:
+            spec.engine_knobs = {**spec.engine_knobs, **knob_params}
+        return spec
+
+
+@dataclass(slots=True)
+class RunSpec:
+    """One fully-resolved run of a sweep: a scenario, its cell, and its seed."""
+
+    index: int
+    run_id: str
+    cell: str
+    params: Dict[str, Any]
+    replicate: int
+    seed: int
+    scenario: ScenarioSpec
+
+
+def derive_seeds(base_seed: int, count: int) -> List[int]:
+    """``count`` independent child seeds from one base seed.
+
+    ``SeedSequence.spawn`` guarantees the children are statistically
+    independent streams, and the derivation depends only on ``(base_seed,
+    index)`` — the same run always gets the same seed no matter how many
+    workers execute the sweep or how the pool schedules it.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    children = np.random.SeedSequence(base_seed).spawn(count)
+    return [int(child.generate_state(1, np.uint64)[0]) for child in children]
+
+
+@dataclass(slots=True)
+class SweepGrid:
+    """A declarative sweep: base scenario x parameter grid x replicates.
+
+    Args:
+        scenario: the base :class:`ScenarioSpec` every cell starts from.
+        axes: ordered mapping of parameter name -> values; cells are the
+            cartesian product in the mapping's iteration order (last axis
+            varies fastest).  Names follow :meth:`ScenarioSpec.with_overrides`
+            (``"trace.rate"`` and ``"engine_knobs.cache"`` address nested
+            parameters).
+        replicates: seeded repetitions of every cell.
+        base_seed: root of the :class:`numpy.random.SeedSequence` tree the
+            per-run seeds are spawned from.
+    """
+
+    scenario: ScenarioSpec
+    axes: Dict[str, Sequence[Any]] = field(default_factory=dict)
+    replicates: int = 1
+    base_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.replicates < 1:
+            raise ValueError("replicates must be >= 1")
+        # Materialise axis values: a single-pass iterable (generator) would
+        # survive validation here and then silently expand to zero runs.
+        self.axes = {name: list(values) for name, values in self.axes.items()}
+        for name, values in self.axes.items():
+            if not values:
+                raise ValueError(f"axis {name!r} has no values")
+
+    def cell_count(self) -> int:
+        count = 1
+        for values in self.axes.values():
+            count *= len(list(values))
+        return count
+
+    def run_count(self) -> int:
+        return self.cell_count() * self.replicates
+
+    def expand(self) -> List[RunSpec]:
+        """Flatten the grid into ordered, fully-seeded run specifications."""
+        names = list(self.axes.keys())
+        value_lists = [list(self.axes[name]) for name in names]
+        runs: List[RunSpec] = []
+        seeds = derive_seeds(self.base_seed, self.run_count())
+        index = 0
+        for combo in itertools.product(*value_lists) if names else [()]:
+            params = dict(zip(names, combo))
+            cell = (",".join(f"{name}={value}" for name, value in params.items())
+                    or self.scenario.name)
+            spec = self.scenario.with_overrides(**params) if params else self.scenario
+            for replicate in range(self.replicates):
+                runs.append(RunSpec(
+                    index=index,
+                    run_id=f"{cell}#r{replicate}",
+                    cell=cell,
+                    params=params,
+                    replicate=replicate,
+                    seed=seeds[index],
+                    scenario=spec,
+                ))
+                index += 1
+        return runs

@@ -365,3 +365,158 @@ def _staleness_violations(ops, bound: float = BOUND) -> list:
 ))
 def test_no_cached_read_ever_exceeds_the_declared_bound(ops):
     assert _staleness_violations(ops) == []
+
+
+class TestRangeContainment:
+    """A narrower range scan served from a wider complete cached entry."""
+
+    def make_store(self):
+        store = StalenessBudgetCache(capacity=256)
+        rows = [((f"u{i:02d}",), {"id": i}) for i in range(6)]
+        store.put_range("ns", ("u00",), ("u06",), None, False, rows,
+                        now=0.0, ttl=10.0)
+        return store, rows
+
+    def test_exact_token_still_hits_first(self):
+        store, rows = self.make_store()
+        served = store.get_range("ns", ("u00",), ("u06",), None, False, now=1.0)
+        assert served == rows
+        assert store.stats.hits == 1
+        assert store.stats.containment_hits == 0
+
+    def test_narrower_scan_served_from_wider_entry(self):
+        store, rows = self.make_store()
+        served = store.get_range("ns", ("u02",), ("u05",), None, False, now=1.0)
+        assert served == rows[2:5]
+        assert store.stats.hits == 1
+        assert store.stats.containment_hits == 1
+        assert store.stats.misses == 0
+
+    def test_requested_limit_applied_to_derived_answer(self):
+        store, rows = self.make_store()
+        served = store.get_range("ns", ("u01",), ("u06",), 2, False, now=1.0)
+        assert served == rows[1:3]
+
+    def test_reverse_orientation_is_reconciled(self):
+        store, rows = self.make_store()
+        served = store.get_range("ns", ("u01",), ("u04",), 2, True, now=1.0)
+        assert served == [rows[3], rows[2]]
+
+    def test_first_admitted_covering_entry_serves_deterministically(self):
+        """With several covering entries, the oldest-admitted one serves —
+        insertion order, not hash order, so two invocations of the same
+        seeded run cannot diverge on which entry gets the LRU refresh."""
+        store, rows = self.make_store()
+        store.put_range("ns", ("u00",), ("u05",), None, False, rows[:5],
+                        now=0.0, ttl=10.0)
+        served = store.get_range("ns", ("u01",), ("u04",), None, False, now=1.0)
+        assert served == rows[1:4]
+        # The wider, first-admitted entry served and took the LRU refresh.
+        assert next(reversed(store._entries)) == (
+            "range", "ns", ("u00",), ("u06",), None, False)
+
+    def test_truncated_wide_entry_never_serves_by_containment(self):
+        """An entry capped by its own limit has unknown coverage past the cut;
+        serving a sub-range from it could fabricate a gap."""
+        store = StalenessBudgetCache(capacity=256)
+        rows = [((f"u{i:02d}",), {"id": i}) for i in range(4)]
+        store.put_range("ns", ("u00",), ("u09",), 4, False, rows,
+                        now=0.0, ttl=10.0)  # len(rows) == limit: truncated
+        assert store.get_range("ns", ("u01",), ("u03",), None, False, 1.0) is None
+        assert store.stats.misses == 1
+        assert store.stats.containment_hits == 0
+
+    def test_non_covering_and_expired_entries_miss(self):
+        store, _ = self.make_store()
+        # Requested range pokes past the cached end.
+        assert store.get_range("ns", ("u04",), ("u99",), None, False, 1.0) is None
+        # Unbounded request cannot be covered by a bounded entry.
+        assert store.get_range("ns", None, None, None, False, 1.0) is None
+        # After expiry nothing serves (and the entry is reclaimed).
+        assert store.get_range("ns", ("u02",), ("u04",), None, False, 11.0) is None
+        assert store.stats.ttl_expirations == 1
+        assert len(store) == 0
+
+    def test_engine_paginated_query_hits_by_containment(self):
+        """One template, narrower page second: the narrow parameter binding
+        must hit the wider binding's cached scan instead of missing on its
+        exact-parameter key."""
+        engine = make_engine()
+        engine.register_entity(EntitySchema(
+            "people", key_fields=[Field("city"), Field("pid")],
+            value_fields=[Field("name")], max_per_partition=50))
+        engine.register_query(
+            "page",
+            "SELECT * FROM people WHERE city = <c> "
+            "AND name BETWEEN <lo> AND <hi> LIMIT 50")
+        for i in range(6):
+            engine.put("people", {"pid": f"p{i}", "city": "sf", "name": f"n{i}"})
+        engine.settle(1.0)
+        wide = engine.query("page", {"c": "sf", "lo": "n0", "hi": "n5"})
+        assert len(wide.rows) == 6
+        before = engine.cache.store.stats.containment_hits
+        narrow = engine.query("page", {"c": "sf", "lo": "n1", "hi": "n3"})
+        assert sorted(r["name"] for r in narrow.rows) == ["n1", "n2", "n3"]
+        assert engine.cache.store.stats.containment_hits == before + 1
+
+
+class TestMissPathLatencyLabel:
+    """Blended windows train the latency model on cluster-served reads only."""
+
+    def test_blended_window_still_trains_on_the_miss_path_label(self):
+        engine = make_engine()
+        engine.put("profiles", {"user_id": "u1", "bio": "hi"})
+        engine.settle(1.0)
+        engine.monitor.close_window(engine.now)  # baseline (duration-0 window)
+        miss = engine.get("profiles", ("u1",))   # cluster read, fills cache
+        for _ in range(50):
+            engine.get("profiles", ("u1",))      # sub-ms front-tier hits
+        targets_before = len(engine.latency_model._targets)
+        observation = engine.monitor.close_window(engine.now + 30.0)
+        assert observation.cache_hit_rate > \
+            engine.monitor.CACHE_BLEND_TRAINING_CUTOFF
+        # The clean label is exactly the one cluster-served read's latency...
+        assert observation.cluster_read_percentile == pytest.approx(miss.latency)
+        # ...and it is what the model trained on — not the blended percentile.
+        assert len(engine.latency_model._targets) == targets_before + 1
+        assert engine.latency_model._targets[-1] == pytest.approx(miss.latency)
+        blended = observation.sla_reports["read"].observed_percentile_latency
+        assert blended < miss.latency  # the blend the old skip was protecting
+
+    def test_window_without_cluster_reads_keeps_the_skip(self):
+        engine = make_engine()
+        engine.put("profiles", {"user_id": "u1", "bio": "hi"})
+        engine.settle(1.0)
+        engine.monitor.close_window(engine.now)  # baseline (duration-0 window)
+        engine.get("profiles", ("u1",))
+        engine.monitor.close_window(engine.now + 30.0)  # drains the miss read
+        for _ in range(40):
+            engine.get("profiles", ("u1",))              # hits only
+        targets_before = len(engine.latency_model._targets)
+        observation = engine.monitor.close_window(engine.now + 60.0)
+        assert observation.cache_hit_rate > \
+            engine.monitor.CACHE_BLEND_TRAINING_CUTOFF
+        assert observation.cluster_read_percentile is None
+        assert len(engine.latency_model._targets) == targets_before
+
+    def test_uncached_engine_skips_the_tracker_and_trains_unchanged(self):
+        """Without a cache the miss-path tracker stays empty (nothing can
+        blend, and nothing may grow unboundedly when no monitor drains it);
+        training uses the tracker report exactly as before the PR."""
+        engine = Scads(seed=0, autoscale=False, initial_groups=2)
+        engine.register_entity(EntitySchema(
+            "profiles", key_fields=[Field("user_id")],
+            value_fields=[Field("bio")]))
+        engine.put("profiles", {"user_id": "u1", "bio": "hi"})
+        engine.settle(1.0)
+        engine.monitor.close_window(engine.now)  # baseline (duration-0 window)
+        engine.get("profiles", ("u1",))
+        assert len(engine._cluster_read_window) == 0
+        targets_before = len(engine.latency_model._targets)
+        observation = engine.monitor.close_window(engine.now + 30.0)
+        assert observation.cache_hit_rate == 0.0
+        assert observation.cluster_read_percentile is None
+        # An unblended window trains on the tracker report, as before.
+        assert len(engine.latency_model._targets) == targets_before + 1
+        assert engine.latency_model._targets[-1] == pytest.approx(
+            observation.sla_reports["read"].observed_percentile_latency)

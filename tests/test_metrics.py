@@ -266,3 +266,108 @@ class TestCostReport:
         data = self._report().as_dict()
         assert data["dollars"] == 10.0
         assert data["peak_instances"] == 10
+
+
+class TestMergeableMetrics:
+    """The sweep fabric's aggregation contract: merging estimators and report
+    summaries must match computing over the concatenated raw samples."""
+
+    @given(
+        left=st.lists(st.floats(min_value=0.0, max_value=10.0,
+                                allow_nan=False), max_size=40),
+        right=st.lists(st.floats(min_value=0.0, max_value=10.0,
+                                 allow_nan=False), max_size=40),
+    )
+    def test_merge_matches_concatenated_samples(self, left, right):
+        a = PercentileEstimator()
+        a.extend(left)
+        b = PercentileEstimator()
+        b.extend(right)
+        merged = a.merge(b)
+        reference = PercentileEstimator()
+        reference.extend(left + right)
+        assert len(merged) == len(reference)
+        if len(reference):
+            assert merged.snapshot() == pytest.approx(reference.snapshot())
+            assert merged.fraction_below(5.0) == reference.fraction_below(5.0)
+
+    def test_merge_returns_self_and_leaves_other_usable(self):
+        a = PercentileEstimator()
+        a.extend([1.0, 3.0])
+        b = PercentileEstimator()
+        b.extend([2.0, 4.0])
+        assert a.merge(b) is a
+        assert a.percentile(100) == 4.0
+        assert b.percentile(100) == 4.0  # other unchanged
+        assert a.mean() == pytest.approx(2.5)
+        assert a.max() == 4.0
+
+    def test_merged_classmethod_unions_many(self):
+        parts = []
+        for chunk in ([1.0], [2.0, 5.0], [], [0.5]):
+            est = PercentileEstimator()
+            est.extend(chunk)
+            parts.append(est)
+        union = PercentileEstimator.merged(parts)
+        assert len(union) == 4
+        assert union.max() == 5.0
+
+    def test_merge_with_pending_unsorted_appends_on_both_sides(self):
+        a = PercentileEstimator()
+        b = PercentileEstimator()
+        for value in (5.0, 1.0, 3.0):
+            a.add(value)
+        a.percentile(50)  # flush a's sorted cache
+        a.add(0.5)        # ...then leave a pending sample
+        for value in (4.0, 2.0):
+            b.add(value)
+        a.merge(b)
+        assert a.percentile(50) == pytest.approx(2.5)
+        assert len(a) == 6
+
+    def test_fraction_at_or_below_is_inclusive(self):
+        est = PercentileEstimator()
+        est.extend([0.1, 0.2, 0.3])
+        assert est.fraction_below(0.2) == pytest.approx(1 / 3)
+        assert est.fraction_at_or_below(0.2) == pytest.approx(2 / 3)
+
+    def test_sla_report_merge_weights_fractions_by_count(self):
+        from repro.metrics.sla import SLAReport
+
+        good = SLAReport("read", 99.0, 0.1, observed_fraction_within=1.0,
+                         observed_percentile_latency=0.05, request_count=300,
+                         satisfied=True)
+        bad = SLAReport("read", 99.0, 0.1, observed_fraction_within=0.9,
+                        observed_percentile_latency=0.4, request_count=100,
+                        satisfied=False)
+        merged = good.merge(bad)
+        assert merged.request_count == 400
+        assert merged.observed_fraction_within == pytest.approx(0.975)
+        assert not merged.satisfied  # 97.5% < the 99% target
+        # Without estimators the percentile is the pessimistic max...
+        assert merged.observed_percentile_latency == 0.4
+        # ...and an exact merged percentile can be injected.
+        exact = good.merge(bad, merged_percentile_latency=0.2)
+        assert exact.observed_percentile_latency == 0.2
+
+    def test_sla_report_merge_rejects_mismatched_targets(self):
+        from repro.metrics.sla import SLAReport
+
+        read = SLAReport("read", 99.0, 0.1, 1.0, 0.05, 10, True)
+        write = SLAReport("write", 99.0, 0.1, 1.0, 0.05, 10, True)
+        with pytest.raises(ValueError):
+            read.merge(write)
+
+    def test_cost_report_merge_sums_bills_and_weights_means(self):
+        a = CostReport(machine_hours=10.0, dollars=1.0, requests_served=100,
+                       peak_instances=4, mean_instances=2.0)
+        b = CostReport(machine_hours=30.0, dollars=3.0, requests_served=300,
+                       peak_instances=3, mean_instances=6.0)
+        merged = a.merge(b)
+        assert merged.machine_hours == pytest.approx(40.0)
+        assert merged.dollars == pytest.approx(4.0)
+        assert merged.requests_served == 400
+        assert merged.peak_instances == 4
+        # (2*10 + 6*30) / 40 = 5.0 — machine-hour-weighted.
+        assert merged.mean_instances == pytest.approx(5.0)
+        assert merged.cost_per_request() == pytest.approx(0.01)
