@@ -12,10 +12,14 @@
 #                      parallel experiment fabric (see PERFORMANCE.md)
 #   make sweep-smoke - tiny sweep grid on 2 workers; also runs inside
 #                      make bench-smoke via the bench_*.py glob
+#   make bench-provisioning - the provisioning-loop benchmarks (E6 scale-down
+#                      economics, fig4 consistency axes, E11 planner/forecast
+#                      ablations) in smoke mode — the quick check that the
+#                      planner backends still close the loop
 
 PYTEST := python -m pytest
 
-.PHONY: test test-all property bench bench-smoke perf sweep sweep-smoke
+.PHONY: test test-all property bench bench-smoke bench-provisioning perf sweep sweep-smoke
 
 test:
 	$(PYTEST) -x -q
@@ -33,6 +37,11 @@ bench:
 
 bench-smoke:
 	BENCH_SMOKE=1 $(PYTEST) benchmarks/bench_*.py -q -s
+
+bench-provisioning:
+	BENCH_SMOKE=1 $(PYTEST) benchmarks/bench_e6_scale_down_cost.py \
+		benchmarks/bench_fig4_consistency_axes.py \
+		benchmarks/bench_e11_ml_ablation.py -q -s
 
 perf:
 	BENCH_PERF_RECORD=1 $(PYTEST) benchmarks/bench_perf_throughput.py -q -s

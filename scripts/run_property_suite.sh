@@ -2,6 +2,9 @@
 # Full property-based suite: every hypothesis test at the "thorough" profile
 # (200 examples each) plus the slow tier.  The default `python -m pytest -x -q`
 # run keeps the same tests at a small example budget so it stays fast.
+# Marker-driven, so new property suites are picked up automatically — this
+# includes the planner-backend properties in tests/test_planner_backends.py
+# (analytical sizing monotone in rate and node capacity).
 set -e
 cd "$(dirname "$0")/.."
 HYPOTHESIS_PROFILE=thorough python -m pytest -m property --runslow -q "$@"

@@ -78,6 +78,7 @@ from repro.core.consistency.spec import (
 from repro.core.consistency.writes import ConflictResolver
 from repro.core.index.maintenance import EntityWrite, IndexMaintainer
 from repro.core.index.updater import AsyncIndexUpdater
+from repro.core.provisioning.analytic import AnalyticSizingModel
 from repro.core.provisioning.controller import ProvisioningController
 from repro.core.provisioning.monitor import SLAMonitor
 from repro.core.provisioning.planner import CapacityPlanner
@@ -207,6 +208,14 @@ class Scads:
             uses :class:`~repro.cache.tier.CacheConfig` defaults; pass a
             config to size the cache or tune the propagation headroom.
             Defaults to off (every read pays full cluster latency).
+        planner_backend: how the planner answers the latency sizing question —
+            ``"analytical"`` (closed-form M/G/k model), ``"ml"`` (learned
+            latency model, the pre-clamp behaviour), or ``"hybrid"``
+            (default: analytical backbone, ML admitted as a bounded
+            residual).  See :mod:`repro.core.provisioning.backends`.
+        planner_clamp_band: the hybrid backend's admissible fractional
+            deviation of the ML answer from the analytical answer
+            (0.3 = ±30%).
     """
 
     # Samples kept in the cluster-served-read window when nothing drains it
@@ -235,6 +244,8 @@ class Scads:
         repartition_hot_utilisation: float = 0.75,
         repartition_cold_utilisation: float = 0.5,
         cache: Union[None, bool, CacheConfig] = None,
+        planner_backend: str = "hybrid",
+        planner_clamp_band: float = 0.3,
     ) -> None:
         self.spec = consistency or ConsistencySpec()
         self.sim = Simulator(seed=seed)
@@ -319,6 +330,13 @@ class Scads:
             node_capacity_ops=instance_type.capacity_ops_per_sec,
             percentile=self.spec.performance.percentile,
         )
+        # Closed-form M/G/k sizing backbone; calibrated per window by the
+        # monitor and consulted by the analytical/hybrid planner backends.
+        self.sizing_model = AnalyticSizingModel(
+            node_capacity_ops=instance_type.capacity_ops_per_sec,
+            base_service_time=0.004,
+            percentile=self.spec.performance.percentile,
+        )
         self.lag_model = PropagationLagModel()
         self.forecaster = WorkloadForecaster()
         self.monitor = SLAMonitor(
@@ -334,6 +352,7 @@ class Scads:
             # than per-node interarrival EWMAs (see rate_estimate()); use it
             # for the mean-utilisation feature when it is being fed.
             rate_tracker=self.rebalancer.tracker if self.rebalancer is not None else None,
+            sizing_model=self.sizing_model,
         )
         self.planner = CapacityPlanner(
             latency_model=self.latency_model,
@@ -342,6 +361,9 @@ class Scads:
             min_nodes=max(min_groups, 1) * replication_factor,
             max_nodes=max_instances,
             repartition_hot_utilisation=repartition_hot_utilisation,
+            backend=planner_backend,
+            clamp_band=planner_clamp_band,
+            sizing_model=self.sizing_model,
         )
         self.autoscale = autoscale
         self.controller = ProvisioningController(
@@ -575,7 +597,33 @@ class Scads:
                 return None, latency
             return dict(value.value), latency
 
-        executor = QueryExecutor(range_read, entity_get)
+        def entity_get_many(entity_name, keys):
+            namespace = entity_namespace(entity_name)
+            out = {}
+            misses = []
+            for key in keys:
+                if key in out or key in misses:
+                    continue
+                served = self._cached_entity_read(namespace, key, session)
+                if served is not None:
+                    out[key] = served
+                else:
+                    misses.append(key)
+            if misses:
+                touched_cluster[0] = True
+                routed = self.router.read_many(namespace, misses)
+                for key in misses:
+                    value, latency, success, stale, _, freshness = (
+                        self._verify_replica_read(namespace, key, routed[key], session))
+                    if success:
+                        self._admit_entity_read(namespace, key, value, stale, freshness)
+                    if not success or value is None or not isinstance(value.value, dict):
+                        out[key] = (None, latency)
+                    else:
+                        out[key] = (dict(value.value), latency)
+            return out
+
+        executor = QueryExecutor(range_read, entity_get, entity_get_many)
         result = executor.execute(compiled.plan, params)
         self._record_op("read", result.latency, True,
                         cluster_served=touched_cluster[0])
@@ -628,6 +676,15 @@ class Scads:
         and never admits unverified (None) reads.
         """
         result = self.router.read(namespace, key)
+        return self._verify_replica_read(namespace, key, result, session)
+
+    def _verify_replica_read(self, namespace: str, key: Key, result, session):
+        """Staleness-bound and session-guarantee checks on a routed read.
+
+        Split from :meth:`_consistent_read` so batched dereferences can fetch
+        values as per-group multigets and still run the identical per-key
+        verification.  Same return shape as ``_consistent_read``.
+        """
         if not result.success:
             return None, result.latency, False, False, result.error, None
         value = result.value

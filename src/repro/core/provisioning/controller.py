@@ -111,6 +111,7 @@ class ProvisioningController:
         self._pending_groups = 0
         self._low_demand_windows = 0
         self._actions: List[ScalingAction] = []
+        self._plans: List[CapacityPlan] = []
         self._series = TimeSeriesRecorder()
         self._cancel_loop = None
         self._adopt_existing_groups()
@@ -349,6 +350,7 @@ class ProvisioningController:
         action: ScalingAction,
     ) -> None:
         self._actions.append(action)
+        self._plans.append(plan)
         self._series.record("observed_rate", now, observation.request_rate)
         self._series.record("forecast_rate", now, plan.forecast_rate)
         self._series.record("target_nodes", now, plan.target_nodes)
@@ -359,6 +361,11 @@ class ProvisioningController:
 
     def actions(self) -> List[ScalingAction]:
         return list(self._actions)
+
+    def plans(self) -> List[CapacityPlan]:
+        """Every CapacityPlan emitted, one per control step (for audits:
+        E11 asserts each hybrid plan sits inside the clamp band)."""
+        return list(self._plans)
 
     def series(self) -> TimeSeriesRecorder:
         """Time series of everything the controller observed and decided."""

@@ -95,8 +95,16 @@ class SLAMonitor:
         exclude_hotspot_training: bool = False,
         hotspot_skew_ratio: float = 1.6,
         rate_tracker=None,
+        sizing_model=None,
     ) -> None:
-        """``rate_tracker`` is an optional
+        """``sizing_model`` is an optional
+        :class:`~repro.core.provisioning.analytic.AnalyticSizingModel`; when
+        supplied, each clean training window also calibrates its percentile
+        service time and demand amplification (bounded EWMAs — see
+        ``observe_window``), so the analytical planner backends track the
+        measured workload without inheriting the ML model's failure modes.
+
+        ``rate_tracker`` is an optional
         :class:`~repro.storage.rebalancer.PartitionLoadTracker` (any object
         with ``rate_estimate()``/``total_load()``).  When supplied — the
         engine passes the rebalancer's tracker — the mean-utilisation feature
@@ -116,6 +124,7 @@ class SLAMonitor:
         self._exclude_hotspot_training = exclude_hotspot_training
         self._hotspot_skew_ratio = hotspot_skew_ratio
         self._rate_tracker = rate_tracker
+        self._sizing_model = sizing_model
         self._extractor = FeatureExtractor()
         self._last_counts: Dict[str, int] = {}
         self._last_time: Optional[float] = None
@@ -279,6 +288,10 @@ class SLAMonitor:
                     continue  # no clean label available: keep the old skip
                 label = observation.cluster_read_percentile
             self._latency_model.observe(observation.features, label)
+            if self._sizing_model is not None and op_type == "read":
+                # Same label hygiene as the ML model: hotspot windows are
+                # already skipped above, blended read labels are repaired.
+                self._sizing_model.observe_window(observation.features, label)
         self._lag_model.observe(
             pending_updates=observation.pending_maintenance,
             per_node_rate=observation.features.per_node_rate,

@@ -5,6 +5,14 @@ tested without a simulator: give it a forecast rate, the trained models, and
 the declared SLAs, and it returns how many storage nodes the cluster should
 have.  The controller is the piece that turns that number into rent/release
 actions.
+
+The latency requirement is answered by a pluggable backend (see
+:mod:`repro.core.provisioning.backends`): ``analytical`` (closed-form
+M/G/k-style sizing), ``ml`` (the learned latency model inverted by
+bisection), or the default ``hybrid`` in which the ML answer is a bounded
+residual clamped to ``clamp_band`` around the analytical answer.  The
+utilisation ceiling and staleness headroom apply identically under every
+backend.
 """
 
 from __future__ import annotations
@@ -14,6 +22,8 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.core.consistency.spec import ConsistencySpec, PerformanceSLA
+from repro.core.provisioning.analytic import AnalyticSizingModel
+from repro.core.provisioning.backends import make_backend
 from repro.ml.performance_model import LatencyPercentileModel, PropagationLagModel
 
 
@@ -34,6 +44,19 @@ class CapacityPlan:
     # *placement* (one hot group, cluster-wide headroom), so a split/migrate
     # should be tried before renting another replica group.
     repartition_candidate: bool = False
+    # Which latency backend produced latency_required_nodes, and the raw
+    # answers behind it.  analytic_nodes/ml_nodes are None when the backend
+    # did not consult that model.
+    backend: str = "hybrid"
+    analytic_nodes: Optional[int] = None
+    ml_nodes: Optional[int] = None
+    # True when no node count within max_nodes meets the strictest SLA —
+    # the plan holds a capacity-stability floor instead of chasing the
+    # target, and the reason says so (no more silent max_nodes cap).
+    latency_infeasible: bool = False
+    # True when the hybrid backend clamped the ML answer into the band.
+    ml_clamped: bool = False
+    clamp_band: float = 0.0
 
     def describe(self) -> str:
         return (
@@ -60,6 +83,13 @@ class CapacityPlanner:
         repartition_hot_utilisation: a window whose worst node exceeds this
             while the cluster mean stays under ``target_utilisation`` is
             flagged as a repartition candidate (hotspot, not overload).
+        backend: latency-sizing backend — ``analytical``, ``ml``, or
+            ``hybrid`` (default; ML clamped to ±``clamp_band`` around the
+            analytical answer).
+        clamp_band: the hybrid backend's admissible fractional deviation.
+        sizing_model: the analytical model; built from the latency model's
+            calibration (capacity, base service time, percentile) when not
+            supplied.
     """
 
     def __init__(
@@ -72,6 +102,9 @@ class CapacityPlanner:
         max_nodes: int = 10_000,
         staleness_scale_factor: float = 1.25,
         repartition_hot_utilisation: float = 0.75,
+        backend: str = "hybrid",
+        clamp_band: float = 0.3,
+        sizing_model: Optional[AnalyticSizingModel] = None,
     ) -> None:
         if not 0.0 < target_utilisation < 1.0:
             raise ValueError("target_utilisation must be in (0, 1)")
@@ -91,6 +124,17 @@ class CapacityPlanner:
         self.min_nodes = min_nodes
         self.max_nodes = max_nodes
         self.staleness_scale_factor = staleness_scale_factor
+        self.clamp_band = clamp_band
+        if sizing_model is None:
+            sizing_model = AnalyticSizingModel(
+                node_capacity_ops=node_capacity_ops,
+                base_service_time=latency_model.base_service_time,
+                percentile=latency_model.percentile,
+            )
+        self.sizing_model = sizing_model
+        self.backend_name = backend
+        self._backend = make_backend(
+            backend, sizing_model, latency_model, clamp_band=clamp_band)
 
     def plan(
         self,
@@ -128,17 +172,21 @@ class CapacityPlanner:
         if cache_hit_rate > 0.0:
             cluster_write_fraction = min(
                 write_fraction / max(1.0 - cache_hit_rate, 1e-9), 1.0)
-        # Latency requirement: the strictest SLA wins.
+        # Latency requirement: the strictest SLA wins; keep the winning
+        # backend answer so the plan can report the raw analytic/ml split.
         latency_nodes = self.min_nodes
+        binding = None
         for sla in slas.values():
-            needed = self.latency_model.required_nodes(
-                predicted_rate=cluster_rate,
+            requirement = self._backend.latency_requirement(
+                cluster_rate=cluster_rate,
                 write_fraction=cluster_write_fraction,
                 target_latency=sla.latency,
-                max_nodes=self.max_nodes,
                 pending_updates=pending_maintenance,
+                max_nodes=self.max_nodes,
             )
-            latency_nodes = max(latency_nodes, needed)
+            if binding is None or requirement.nodes > binding.nodes:
+                binding = requirement
+            latency_nodes = max(latency_nodes, requirement.nodes)
         # Utilisation requirement: never plan to run nodes hotter than the ceiling.
         utilisation_nodes = max(
             int(math.ceil(cluster_rate / (self.node_capacity_ops * self.target_utilisation))),
@@ -156,7 +204,17 @@ class CapacityPlanner:
         if staleness_pressure:
             target = int(math.ceil(target * self.staleness_scale_factor))
         target = min(max(target, self.min_nodes), self.max_nodes)
-        reason = "latency model" if latency_nodes >= utilisation_nodes else "utilisation ceiling"
+        if latency_nodes >= utilisation_nodes:
+            reason = f"latency model ({self.backend_name})"
+        else:
+            reason = "utilisation ceiling"
+        if binding is not None and binding.infeasible:
+            reason += (" [latency target infeasible at any scale — "
+                       "holding capacity floor]")
+        if binding is not None and binding.clamped:
+            reason += (f" [ml answer {binding.ml_nodes} clamped to "
+                       f"±{self.clamp_band:.0%} of analytical "
+                       f"{binding.analytic_nodes}]")
         if staleness_pressure:
             reason += " + staleness headroom"
         if cache_hit_rate >= 0.01:
@@ -179,4 +237,10 @@ class CapacityPlanner:
             reason=reason,
             repartition_candidate=repartition_candidate,
             cache_absorbed_fraction=cache_hit_rate,
+            backend=self.backend_name,
+            analytic_nodes=None if binding is None else binding.analytic_nodes,
+            ml_nodes=None if binding is None else binding.ml_nodes,
+            latency_infeasible=False if binding is None else binding.infeasible,
+            ml_clamped=False if binding is None else binding.clamped,
+            clamp_band=self.clamp_band,
         )

@@ -20,6 +20,10 @@ RangeReadFn = Callable[[str, Optional[Key], Optional[Key], Optional[int], bool],
                        Tuple[List[Tuple[Key, Dict[str, Any]]], float]]
 # (entity_name, key) -> (row dict or None, latency)
 EntityGetFn = Callable[[str, Key], Tuple[Optional[Dict[str, Any]], float]]
+# (entity_name, keys) -> {key: (row dict or None, latency)} — batched variant;
+# the engine groups keys by replica group and issues one multiget per group.
+EntityGetManyFn = Callable[[str, List[Key]],
+                           Dict[Key, Tuple[Optional[Dict[str, Any]], float]]]
 
 
 class ExecutionError(RuntimeError):
@@ -42,9 +46,11 @@ class QueryResult:
 class QueryExecutor:
     """Executes :class:`QueryPlan` objects against pluggable storage callables."""
 
-    def __init__(self, range_read: RangeReadFn, entity_get: EntityGetFn) -> None:
+    def __init__(self, range_read: RangeReadFn, entity_get: EntityGetFn,
+                 entity_get_many: Optional[EntityGetManyFn] = None) -> None:
         self._range_read = range_read
         self._entity_get = entity_get
+        self._entity_get_many = entity_get_many
 
     # ----------------------------------------------------------------- execute
 
@@ -60,10 +66,22 @@ class QueryExecutor:
         rows: List[Dict[str, Any]] = []
         dereference_latency = 0.0
         dereferences = 0
+        fetched: Optional[Dict[Key, Tuple[Optional[Dict[str, Any]], float]]] = None
+        if plan.dereference and self._entity_get_many is not None and entries:
+            # Batched dereference: the whole bounded list goes down in one
+            # call, letting the storage layer collapse it into per-group
+            # multigets instead of one request per entry.
+            fetched = self._entity_get_many(
+                plan.final_entity,
+                [key[-plan.final_key_length:] for key, _ in entries],
+            )
         for key, index_value in entries:
             final_key = key[-plan.final_key_length:]
             if plan.dereference:
-                row, latency = self._entity_get(plan.final_entity, final_key)
+                if fetched is not None:
+                    row, latency = fetched[final_key]
+                else:
+                    row, latency = self._entity_get(plan.final_entity, final_key)
                 dereferences += 1
                 # Dereferences of different index entries hit independent
                 # replica groups; model them as parallel fetches.

@@ -12,12 +12,25 @@ Two models close the paper's provisioning feedback loop:
 Both start from a conservative analytic prior (an M/M/1-shaped curve) so the
 system behaves sensibly before it has gathered any training windows, then
 switch to the learned model once enough observations exist.
+
+Training is bounded on both axes: observations live in a sliding window of
+the most recent ``max_training_windows`` measurements (stale regimes age
+out, memory stays O(window) over arbitrarily long runs), and refits happen
+on a ``retrain_every`` cadence rather than per observation (refitting per
+window is O(n^2) work over a run).
+
+The planner no longer trusts this model unconditionally: in the default
+``hybrid`` backend (see :mod:`repro.core.provisioning.backends`) its answer
+is a *bounded residual* clamped to a band around the closed-form analytical
+answer, so mistaught training windows cannot demand capacity without bound.
 """
 
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Sequence, Tuple
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Optional
 
 import numpy as np
 
@@ -25,6 +38,21 @@ from repro.ml.ensemble import EnsembleModel
 from repro.ml.features import WorkloadFeatures
 from repro.ml.knn import KNNRegressor
 from repro.ml.regression import QuantileRegressionModel, RidgeRegressionModel
+
+
+@dataclass(frozen=True)
+class NodeRequirement:
+    """Result of inverting the latency model for a target.
+
+    ``feasible=False`` means no node count within ``max_nodes`` met the
+    target — ``nodes`` is then the ``max_nodes`` cap itself and callers must
+    treat it as "the model says scaling cannot fix this", not as a sizing
+    answer.  (The old API returned the cap silently, which is how the
+    latency-model runaway rented toward ``max_nodes`` unnoticed.)
+    """
+
+    nodes: int
+    feasible: bool
 
 
 class LatencyPercentileModel:
@@ -38,6 +66,8 @@ class LatencyPercentileModel:
         percentile: the SLA percentile being modelled (e.g. 99.9).
         min_training_windows: observations required before trusting the
             learned model over the analytic prior.
+        retrain_every: refit cadence, in observations.
+        max_training_windows: sliding-window bound on retained observations.
     """
 
     # Tail inflation of the percentile over the median for a log-normal-ish
@@ -51,20 +81,25 @@ class LatencyPercentileModel:
         percentile: float = 99.9,
         min_training_windows: int = 8,
         retrain_every: int = 4,
+        max_training_windows: int = 512,
     ) -> None:
         if base_service_time <= 0 or node_capacity_ops <= 0:
             raise ValueError("base_service_time and node_capacity_ops must be positive")
         if not 0.0 < percentile < 100.0:
             raise ValueError(f"percentile must be in (0, 100), got {percentile}")
+        if max_training_windows < min_training_windows:
+            raise ValueError("max_training_windows must be >= min_training_windows")
         self.base_service_time = base_service_time
         self.node_capacity_ops = node_capacity_ops
         self.percentile = percentile
         self.min_training_windows = min_training_windows
         self.retrain_every = retrain_every
-        self._features: List[np.ndarray] = []
-        self._targets: List[float] = []
+        self.max_training_windows = max_training_windows
+        self._features: Deque[np.ndarray] = deque(maxlen=max_training_windows)
+        self._targets: Deque[float] = deque(maxlen=max_training_windows)
         self._model: Optional[EnsembleModel] = None
         self._observations_since_fit = 0
+        self.fit_count = 0
 
     # -------------------------------------------------------------- observation
 
@@ -100,9 +135,10 @@ class LatencyPercentileModel:
             KNNRegressor(k=5),
         ]
         model = EnsembleModel(members)
-        model.fit(self._features, self._targets)
+        model.fit(list(self._features), list(self._targets))
         self._model = model
         self._observations_since_fit = 0
+        self.fit_count += 1
 
     # --------------------------------------------------------------- prediction
 
@@ -120,7 +156,21 @@ class LatencyPercentileModel:
         # asked about configurations far from anything observed; floor it.
         return max(learned, self.base_service_time)
 
-    def required_nodes(
+    def _candidate_features(self, predicted_rate: float, write_fraction: float,
+                            nodes: int, pending_updates: int) -> WorkloadFeatures:
+        """The feature vector of a candidate configuration at ``nodes``."""
+        utilisation = min(predicted_rate / (nodes * self.node_capacity_ops), 0.99)
+        return WorkloadFeatures(
+            request_rate=predicted_rate,
+            write_fraction=write_fraction,
+            node_count=float(nodes),
+            per_node_rate=predicted_rate / nodes,
+            mean_utilisation=utilisation,
+            max_utilisation=min(utilisation * 1.2, 0.99),
+            pending_updates=float(pending_updates),
+        )
+
+    def required_nodes_search(
         self,
         predicted_rate: float,
         write_fraction: float,
@@ -128,11 +178,21 @@ class LatencyPercentileModel:
         max_nodes: int = 10_000,
         headroom: float = 0.85,
         pending_updates: int = 0,
-    ) -> int:
+    ) -> NodeRequirement:
         """Smallest node count whose predicted percentile latency meets the SLA.
 
         ``headroom`` tightens the target so the plan leaves margin for model
         error — the provisioning loop's "don't sail exactly at the SLA" knob.
+
+        The search is a monotone bisection over the capacity-feasible range
+        ``[ceil(rate / capacity), max_nodes]`` — O(log max_nodes) predictions
+        instead of the old O(max_nodes) linear scan.  Predicted latency is
+        assumed non-increasing in the node count (true of the prior and of
+        any physically sensible learned surface; where a mistaught model
+        violates it, bisection still terminates and the hybrid planner's
+        clamp band bounds the damage).  When not even ``max_nodes`` meets
+        the target the result carries ``feasible=False`` instead of the old
+        silent cap.
         """
         if predicted_rate < 0:
             raise ValueError("predicted_rate must be non-negative")
@@ -142,32 +202,78 @@ class LatencyPercentileModel:
             raise ValueError("headroom must be in (0, 1]")
         effective_target = target_latency * headroom
         if predicted_rate == 0:
-            return 1
+            return NodeRequirement(nodes=1, feasible=True)
+
+        def meets(nodes: int) -> bool:
+            features = self._candidate_features(
+                predicted_rate, write_fraction, nodes, pending_updates)
+            return self.predict(features) <= effective_target
+
         # Lower bound from raw capacity so the search starts in a sane place.
         lower = max(int(math.ceil(predicted_rate / self.node_capacity_ops)), 1)
-        for nodes in range(lower, max_nodes + 1):
-            features = WorkloadFeatures(
-                request_rate=predicted_rate,
-                write_fraction=write_fraction,
-                node_count=float(nodes),
-                per_node_rate=predicted_rate / nodes,
-                mean_utilisation=min(predicted_rate / (nodes * self.node_capacity_ops), 0.99),
-                max_utilisation=min(predicted_rate / (nodes * self.node_capacity_ops) * 1.2, 0.99),
-                pending_updates=float(pending_updates),
-            )
-            if self.predict(features) <= effective_target:
-                return nodes
-        return max_nodes
+        if lower > max_nodes or not meets(max_nodes):
+            return NodeRequirement(nodes=max_nodes, feasible=False)
+        low, high = lower, max_nodes
+        while low < high:
+            mid = (low + high) // 2
+            if meets(mid):
+                high = mid
+            else:
+                low = mid + 1
+        return NodeRequirement(nodes=low, feasible=True)
+
+    def required_nodes(
+        self,
+        predicted_rate: float,
+        write_fraction: float,
+        target_latency: float,
+        max_nodes: int = 10_000,
+        headroom: float = 0.85,
+        pending_updates: int = 0,
+    ) -> int:
+        """Node count from :meth:`required_nodes_search` (back-compat shim).
+
+        Prefer the search variant: this collapses the ``feasible`` flag and
+        cannot distinguish "needs max_nodes" from "infeasible at any scale".
+        """
+        return self.required_nodes_search(
+            predicted_rate=predicted_rate,
+            write_fraction=write_fraction,
+            target_latency=target_latency,
+            max_nodes=max_nodes,
+            headroom=headroom,
+            pending_updates=pending_updates,
+        ).nodes
 
 
 class PropagationLagModel:
-    """Predicts index/replica propagation lag from update-queue pressure."""
+    """Predicts index/replica propagation lag from update-queue pressure.
 
-    def __init__(self, min_training_windows: int = 6) -> None:
+    Like the latency model, training is bounded: a sliding window of the
+    most recent ``max_training_windows`` observations, refit every
+    ``retrain_every`` observations (the old behaviour refit on *every*
+    observe past the minimum — O(n^2) over a long run — while the
+    observation lists grew without bound).
+    """
+
+    def __init__(
+        self,
+        min_training_windows: int = 6,
+        retrain_every: int = 4,
+        max_training_windows: int = 512,
+    ) -> None:
+        if max_training_windows < min_training_windows:
+            raise ValueError("max_training_windows must be >= min_training_windows")
+        if retrain_every < 1:
+            raise ValueError("retrain_every must be >= 1")
         self.min_training_windows = min_training_windows
-        self._features: List[List[float]] = []
-        self._targets: List[float] = []
+        self.retrain_every = retrain_every
+        self.max_training_windows = max_training_windows
+        self._features: Deque[list] = deque(maxlen=max_training_windows)
+        self._targets: Deque[float] = deque(maxlen=max_training_windows)
         self._model: Optional[RidgeRegressionModel] = None
+        self._observations_since_fit = 0
+        self.fit_count = 0
 
     def observe(self, pending_updates: int, per_node_rate: float, observed_lag: float) -> None:
         """Record one window's queue depth, per-node load, and measured lag."""
@@ -175,8 +281,18 @@ class PropagationLagModel:
             raise ValueError("lag must be non-negative")
         self._features.append([float(pending_updates), float(per_node_rate)])
         self._targets.append(float(observed_lag))
-        if len(self._targets) >= self.min_training_windows:
-            self._model = RidgeRegressionModel(alpha=1.0).fit(self._features, self._targets)
+        self._observations_since_fit += 1
+        if (
+            len(self._targets) >= self.min_training_windows
+            and self._observations_since_fit >= self.retrain_every
+        ):
+            self._model = RidgeRegressionModel(alpha=1.0).fit(
+                list(self._features), list(self._targets))
+            self._observations_since_fit = 0
+            self.fit_count += 1
+
+    def training_size(self) -> int:
+        return len(self._targets)
 
     @property
     def is_trained(self) -> bool:
