@@ -16,10 +16,13 @@
 #                      economics, fig4 consistency axes, E11 planner/forecast
 #                      ablations) in smoke mode — the quick check that the
 #                      planner backends still close the loop
+#   make trace-demo  - end-to-end request tracing demo: slowest traces with
+#                      per-span attribution, per-window p99 breakdown, and
+#                      the provisioning decision timeline (see repro.obs)
 
 PYTEST := python -m pytest
 
-.PHONY: test test-all property bench bench-smoke bench-provisioning perf sweep sweep-smoke
+.PHONY: test test-all property bench bench-smoke bench-provisioning perf sweep sweep-smoke trace-demo
 
 test:
 	$(PYTEST) -x -q
@@ -51,3 +54,6 @@ sweep:
 
 sweep-smoke:
 	BENCH_SMOKE=1 $(PYTEST) benchmarks/bench_perf_throughput.py -q -s -k sweep
+
+trace-demo:
+	python examples/trace_demo.py

@@ -68,12 +68,14 @@ SPEEDUP_TARGET = 3.0
 NO_REGRESS_FRACTION = 0.85
 
 
-def run_scenario() -> dict:
-    """One closed-loop run; returns simulated-op and wall-clock counts.
+def _run_scenario_instrumented(duration: float,
+                               engine_kwargs: dict | None = None) -> tuple:
+    """One closed-loop run; returns (stats, fingerprint, trace_count).
 
-    Setup (graph bulk load) is excluded from the timed section; the clock
-    runs only while the simulator processes the ``DURATION`` seconds of
-    closed-loop traffic.
+    The fingerprint captures every deterministic observable of the run —
+    op/event counts and the full per-op latency distributions — so two runs
+    can be compared for byte-identical simulation behaviour (the
+    telemetry-overhead test's determinism gate).
     """
     engine, app, graph = build_engine_and_app(
         seed=SEED,
@@ -82,6 +84,7 @@ def run_scenario() -> dict:
         predictive_scaling=False,
         initial_groups=4,
         control_interval=CONTROL_INTERVAL,
+        engine_kwargs=engine_kwargs,
     )
     engine.start()
     mix = CloudStoneMix(graph, engine.sim.random.get("workload-mix"))
@@ -89,15 +92,33 @@ def run_scenario() -> dict:
     events_before = engine.sim.processed_events
     generator.start()
     start = time.perf_counter()
-    engine.run_for(DURATION)
+    engine.run_for(duration)
     wall = time.perf_counter() - start
     generator.stop()
-    return {
+    stats = {
         "ops": generator.stats.operations_issued,
         "events": engine.sim.processed_events - events_before,
         "wall_seconds": round(wall, 3),
         "ops_per_wall_sec": round(generator.stats.operations_issued / wall, 1),
     }
+    fingerprint = {
+        "ops": generator.stats.operations_issued,
+        "events": engine.sim.processed_events,
+        "latencies": {op: engine.latencies.all_time(op).snapshot()
+                      for op in sorted(engine.latencies.op_types())},
+    }
+    return stats, fingerprint, len(engine.traces())
+
+
+def run_scenario() -> dict:
+    """One closed-loop run; returns simulated-op and wall-clock counts.
+
+    Setup (graph bulk load) is excluded from the timed section; the clock
+    runs only while the simulator processes the ``DURATION`` seconds of
+    closed-loop traffic.
+    """
+    stats, _, _ = _run_scenario_instrumented(DURATION)
+    return stats
 
 
 def run_event_queue_microbench() -> dict:
@@ -322,3 +343,70 @@ def test_suite_sweep_throughput(table_printer):
             "(set BENCH_PERF_NO_ASSERT=1 on constrained hardware)"
         )
     _append_trajectory(entry)
+
+
+# ------------------------------------------------------- telemetry overhead
+#
+# The observability layer's contract has two halves: telemetry **off** is the
+# default and must cost nothing (the engine holds a None and every op-path
+# check is one `is not None` branch — covered by the main scenario ratchet
+# above, which runs with telemetry off), and telemetry **on** must (a) leave
+# the simulation byte-identical — sampling is counter-modulo, never an RNG
+# draw — and (b) stay within a bounded wall-clock overhead.  The scenario is
+# the frozen standard closed loop, shortened: the comparison needs the
+# on/off *ratio* on identical work, not the frozen scenario's absolute cost,
+# and it runs twice per measurement.
+TELEMETRY_DURATION = smoke_scaled(600.0, 20.0)
+TELEMETRY_MAX_OVERHEAD = 1.10  # on-wall <= 1.10x off-wall
+
+
+def test_telemetry_overhead(table_printer):
+    off_stats, off_fingerprint, _ = _run_scenario_instrumented(TELEMETRY_DURATION)
+    on_stats, on_fingerprint, trace_count = _run_scenario_instrumented(
+        TELEMETRY_DURATION, engine_kwargs={"telemetry": True})
+    identical = off_fingerprint == on_fingerprint
+    ratio = on_stats["wall_seconds"] / max(off_stats["wall_seconds"], 1e-9)
+    table_printer(
+        "Perf: telemetry overhead (off vs on)",
+        ["telemetry", "ops", "wall s", "ops/wall-sec"],
+        [
+            ["off", off_stats["ops"], off_stats["wall_seconds"],
+             off_stats["ops_per_wall_sec"]],
+            ["on", on_stats["ops"], on_stats["wall_seconds"],
+             on_stats["ops_per_wall_sec"]],
+        ],
+    )
+    print(f"telemetry-on wall ratio: {ratio:.3f}x "
+          f"(bound {TELEMETRY_MAX_OVERHEAD:.2f}x); traces sampled: "
+          f"{trace_count}; simulation identical: {identical}")
+    # Determinism is hardware-independent — assert it in every mode.  The
+    # latency fingerprints compare full distributions, so a single diverging
+    # RNG draw anywhere in the traced run fails here.
+    assert identical, (
+        "telemetry=True changed simulation results — tracing must not "
+        "consume RNG draws or alter event ordering"
+    )
+    assert trace_count > 0, "traced run sampled no traces"
+    if smoke_mode():
+        return  # shortened run: wall-clock ratio is noise; no assertion
+    if os.environ.get("BENCH_PERF_RECORD", "") in ("", "0"):
+        return
+    # Assert before recording, with the usual escape hatch for noisy or
+    # non-comparable hardware.
+    if os.environ.get("BENCH_PERF_NO_ASSERT", "") in ("", "0"):
+        assert ratio <= TELEMETRY_MAX_OVERHEAD, (
+            f"telemetry-on overhead {ratio:.3f}x exceeds "
+            f"{TELEMETRY_MAX_OVERHEAD}x (set BENCH_PERF_NO_ASSERT=1 on "
+            "noisy hardware)"
+        )
+    label = os.environ.get("BENCH_PERF_LABEL", "run")
+    _append_trajectory({
+        "label": f"{label}-telemetry",
+        "telemetry": {
+            "off_wall_seconds": off_stats["wall_seconds"],
+            "on_wall_seconds": on_stats["wall_seconds"],
+            "on_off_ratio": round(ratio, 3),
+            "traces": trace_count,
+            "results_identical": identical,
+        },
+    })

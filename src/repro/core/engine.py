@@ -96,6 +96,9 @@ from repro.core.schema import EntitySchema, Relationship, SchemaRegistry
 from repro.metrics.percentiles import LatencyRecorder, PercentileEstimator
 from repro.metrics.sla import SLATracker
 from repro.ml.forecaster import WorkloadForecaster
+from repro.obs.telemetry import Telemetry, TelemetryConfig, resolve_telemetry_config
+from repro.obs.timeline import DecisionTimeline
+from repro.obs.tracing import Tracer
 from repro.ml.performance_model import LatencyPercentileModel, PropagationLagModel
 from repro.sim.simulator import Simulator
 from repro.storage.cluster import Cluster
@@ -216,6 +219,16 @@ class Scads:
         planner_clamp_band: the hybrid backend's admissible fractional
             deviation of the ML answer from the analytical answer
             (0.3 = ±30%).
+        telemetry: attach the observability layer — deterministic span
+            tracing of sampled requests, the counters/gauges/histograms
+            registry, and the provisioning decision timeline
+            (:mod:`repro.obs`).  ``True`` uses
+            :class:`~repro.obs.telemetry.TelemetryConfig` defaults; pass a
+            config to tune the trace sampling interval.  Trace sampling is
+            a per-stream modulo, never an RNG draw, so a telemetry-on run
+            produces byte-identical operation results to a telemetry-off
+            run with the same seed.  Defaults to off, where the remaining
+            cost is one attribute check per operation.
     """
 
     # Samples kept in the cluster-served-read window when nothing drains it
@@ -246,6 +259,7 @@ class Scads:
         cache: Union[None, bool, CacheConfig] = None,
         planner_backend: str = "hybrid",
         planner_clamp_band: float = 0.3,
+        telemetry: Union[None, bool, TelemetryConfig] = None,
     ) -> None:
         self.spec = consistency or ConsistencySpec()
         self.sim = Simulator(seed=seed)
@@ -278,6 +292,23 @@ class Scads:
         if cache:
             cache_config = cache if isinstance(cache, CacheConfig) else CacheConfig()
             self.cache = CacheTier(cache_config, spec=self.spec, simulator=self.sim)
+        self.telemetry_config = resolve_telemetry_config(telemetry)
+        self.telemetry: Optional[Telemetry] = None
+        self.tracer: Optional[Tracer] = None
+        self.timeline: Optional[DecisionTimeline] = None
+        # Cached registry histogram for the replication hot path (None keeps
+        # the telemetry-off cost at a single attribute check).
+        self._tel_replication_lag: Optional[PercentileEstimator] = None
+        if self.telemetry_config is not None:
+            self.telemetry = Telemetry()
+            self.tracer = Tracer(
+                sample_interval=self.telemetry_config.trace_sample_interval,
+                max_traces=self.telemetry_config.max_traces,
+                telemetry=self.telemetry,
+            )
+            self.timeline = DecisionTimeline()
+            self.router.attach_tracer(self.tracer)
+            self._tel_replication_lag = self.telemetry.histogram("replication.lag")
         self.pool = InstancePool(self.sim, instance_type=instance_type,
                                  max_instances=max_instances)
         self.registry = SchemaRegistry()
@@ -353,6 +384,7 @@ class Scads:
             # for the mean-utilisation feature when it is being fed.
             rate_tracker=self.rebalancer.tracker if self.rebalancer is not None else None,
             sizing_model=self.sizing_model,
+            telemetry=self.telemetry,
         )
         self.planner = CapacityPlanner(
             latency_model=self.latency_model,
@@ -379,6 +411,7 @@ class Scads:
             control_interval=control_interval,
             predictive=predictive_scaling,
             rebalancer=self.rebalancer,
+            timeline=self.timeline,
         )
         self._started = False
 
@@ -481,11 +514,18 @@ class Scads:
         namespace = entity_namespace(entity)
         old_row = self._adapter.entity_row(entity, key)
         resolved = self.resolver.resolve(old_row, row)
+        # Trace scope opens after the adapter pre-read: its latency is not
+        # part of the outcome the client is charged, so its spans must not
+        # land on this trace.
+        tracer = self.tracer
+        traced = tracer is not None and tracer.maybe_begin("write", self.sim.now)
         result = self.router.write(
             namespace, key, resolved,
             writer=session_id or "",
             write_quorum=self.resolver.write_quorum(),
         )
+        if traced:
+            tracer.end(result.latency, result.success)
         self._record_op("write", result.latency, result.success)
         if not result.success:
             return OperationOutcome(success=False, latency=result.latency, error=result.error)
@@ -505,7 +545,11 @@ class Scads:
         schema = self.registry.entity(entity)
         namespace = entity_namespace(entity)
         old_row = self._adapter.entity_row(entity, key)
+        tracer = self.tracer
+        traced = tracer is not None and tracer.maybe_begin("write", self.sim.now)
         result = self.router.delete(namespace, key, writer=session_id or "")
+        if traced:
+            tracer.end(result.latency, result.success)
         self._record_op("write", result.latency, result.success)
         if not result.success:
             return OperationOutcome(success=False, latency=result.latency, error=result.error)
@@ -531,14 +575,23 @@ class Scads:
         """
         namespace = entity_namespace(entity)
         session = self.sessions.get(session_id) if session_id is not None else None
+        tracer = self.tracer
+        traced = tracer is not None and tracer.maybe_begin("read", self.sim.now)
         if self.cache is not None:
             served = self._cached_entity_read(namespace, key, session)
             if served is not None:
                 row, latency = served
+                if traced:
+                    tracer.add("cache_hit", latency)
+                    tracer.end(latency, True)
                 self._record_op("read", latency, True, cluster_served=False)
                 return OperationOutcome(success=True, latency=latency, row=row)
+            if traced:
+                tracer.add("cache_miss", 0.0)
         value, latency, success, stale, error, freshness = self._consistent_read(
             namespace, key, session)
+        if traced:
+            tracer.end(latency, success)
         self._record_op("read", latency, success)
         if not success:
             return OperationOutcome(success=False, latency=latency, error=error, stale=stale)
@@ -557,12 +610,30 @@ class Scads:
         # of its sub-reads actually reached the cluster — its latency is then
         # dominated by cluster service, not front-tier memory.
         touched_cluster = [self.cache is None]
+        tracer = self.tracer
+        traced = tracer is not None and tracer.maybe_begin("query", self.sim.now)
+        # The executor composes parallel dereferences by max, so their raw
+        # spans cannot stay on-path: everything recorded after this mark is
+        # demoted when the query completes and replaced with one aggregate
+        # ``index_deref`` span whose duration is the winning dereference.
+        deref_mark = [-1]
+        range_latency_total = [0.0]
+
+        def _note_deref_start():
+            if traced and deref_mark[0] < 0:
+                deref_mark[0] = tracer.mark()
 
         def range_read(namespace, start, end, limit, reverse):
             if self.cache is not None:
                 cached = self.cache.lookup_range(namespace, start, end, limit, reverse)
                 if cached is not None:
-                    return cached, self.cache.sample_hit_latency()
+                    hit_latency = self.cache.sample_hit_latency()
+                    if traced:
+                        tracer.add("cache_hit", hit_latency, detail="range scan")
+                    range_latency_total[0] += hit_latency
+                    return cached, hit_latency
+                if traced:
+                    tracer.add("cache_miss", 0.0, detail="range scan")
             touched_cluster[0] = True
             # A scan that will be *cached* reads the primary: a lagging
             # replica could hand us rows missing an index write that was
@@ -575,6 +646,7 @@ class Scads:
                 KeyRange(namespace=namespace, start=start, end=end),
                 limit=limit, reverse=reverse, from_primary=will_admit,
             )
+            range_latency_total[0] += result.latency
             if not result.success:
                 return [], result.latency
             rows = [(key, value.value if isinstance(value.value, dict) else {})
@@ -584,6 +656,7 @@ class Scads:
             return rows, result.latency
 
         def entity_get(entity_name, key):
+            _note_deref_start()
             namespace = entity_namespace(entity_name)
             served = self._cached_entity_read(namespace, key, session)
             if served is not None:
@@ -598,6 +671,7 @@ class Scads:
             return dict(value.value), latency
 
         def entity_get_many(entity_name, keys):
+            _note_deref_start()
             namespace = entity_namespace(entity_name)
             out = {}
             misses = []
@@ -625,6 +699,16 @@ class Scads:
 
         executor = QueryExecutor(range_read, entity_get, entity_get_many)
         result = executor.execute(compiled.plan, params)
+        if traced:
+            if deref_mark[0] >= 0:
+                tracer.demote_since(deref_mark[0])
+                # The executor charges the slowest dereference (parallel
+                # fetches); one aggregate span carries exactly that time.
+                deref_total = result.latency - range_latency_total[0]
+                if deref_total > 0.0:
+                    tracer.add("index_deref", deref_total,
+                               detail=f"{result.dereferences} parallel dereference(s)")
+            tracer.end(result.latency, True)
         self._record_op("read", result.latency, True,
                         cluster_served=touched_cluster[0])
         return result
@@ -837,11 +921,28 @@ class Scads:
     def _on_replication_lag(self, record) -> None:
         if record.lag is not None:
             self._window_lag_max = max(self._window_lag_max, record.lag)
+            # Cached estimator reference: one list append per propagation,
+            # no registry lookup (propagations outnumber client ops by the
+            # replication factor, so this path's cost is what bounds the
+            # telemetry-on overhead — see test_telemetry_overhead).
+            lag_histogram = self._tel_replication_lag
+            if lag_histogram is not None:
+                lag_histogram.add(record.lag)
 
     def _record_op(self, op_type: str, latency: float, success: bool,
                    cluster_served: bool = True) -> None:
         self._op_counts[op_type] = self._op_counts.get(op_type, 0) + 1
         self._trackers[op_type].observe(latency if success else None, success)
+        # Per-op telemetry counters/histograms (`engine.*.ops`, latency
+        # distributions) duplicate state the engine already tracks, so they
+        # are folded in at collection time (collect_telemetry), not here;
+        # only the outcomes with no existing home are counted on the path.
+        telemetry = self.telemetry
+        if telemetry is not None:
+            if not success:
+                telemetry.count(f"engine.{op_type}.failures")
+            elif not cluster_served:
+                telemetry.count("engine.read.cache_served")
         if success:
             self.latencies.record(op_type, latency)
             # Only cache-attached engines track the miss path: the label is
@@ -873,3 +974,41 @@ class Scads:
 
     def node_count(self) -> int:
         return self.cluster.node_count()
+
+    # ------------------------------------------------------------- observability
+
+    def traces(self) -> List:
+        """Completed traces (empty without ``telemetry=``)."""
+        return [] if self.tracer is None else list(self.tracer.traces)
+
+    def collect_telemetry(self) -> Optional[Telemetry]:
+        """The telemetry registry, with hot-path-owned metrics folded in.
+
+        Subsystems that already track their own state per request — the
+        router's plain-dict op counters, the engine's op counts and latency
+        recorder, the cache's hit counts — are copied into the registry here
+        (collection time) rather than double-counted per request, which is
+        what keeps the telemetry-on overhead within its benchmarked bound.
+        Idempotent: repeated collection overwrites rather than accumulates.
+        """
+        telemetry = self.telemetry
+        if telemetry is None:
+            return None
+        for name, value in self.router.op_counts().items():
+            telemetry.set_count(f"router.{name}", value)
+        for op_type, count in self._op_counts.items():
+            telemetry.set_count(f"engine.{op_type}.ops", count)
+        # Successful-op latency distributions, from the recorder that
+        # already observes them (failed ops carry no latency sample).
+        for op_type in self.latencies.op_types():
+            telemetry.set_histogram(f"engine.{op_type}.latency",
+                                    self.latencies.all_time(op_type))
+        if self._tel_replication_lag is not None:
+            telemetry.set_count("replication.propagations",
+                                len(self._tel_replication_lag))
+        if self.cache is not None:
+            hits, misses = self.cache.hit_counts()
+            telemetry.set_count("cache.hits", hits)
+            telemetry.set_count("cache.misses", misses)
+        telemetry.gauge("cluster.peak_nodes", float(self.cluster.node_count()))
+        return telemetry

@@ -37,6 +37,7 @@ from repro.core.provisioning.planner import CapacityPlan, CapacityPlanner
 from repro.core.consistency.spec import ConsistencySpec, PerformanceSLA
 from repro.metrics.timeseries import TimeSeriesRecorder
 from repro.ml.forecaster import WorkloadForecaster
+from repro.obs.timeline import ProvisioningDecision, SlaVerdict
 from repro.sim.simulator import Simulator
 from repro.storage.cluster import Cluster
 from repro.storage.rebalancer import Rebalancer
@@ -76,6 +77,7 @@ class ProvisioningController:
         predictive: bool = True,
         rebalancer: Optional[Rebalancer] = None,
         max_consecutive_repartitions: int = 2,
+        timeline=None,
     ) -> None:
         if control_interval <= 0:
             raise ValueError("control_interval must be positive")
@@ -114,6 +116,9 @@ class ProvisioningController:
         self._plans: List[CapacityPlan] = []
         self._series = TimeSeriesRecorder()
         self._cancel_loop = None
+        # Optional obs.DecisionTimeline: a structured record of every plan
+        # (with its sizing rationale) and every fleet movement.
+        self._timeline = timeline
         self._adopt_existing_groups()
 
     # -------------------------------------------------------------------- setup
@@ -125,6 +130,10 @@ class ProvisioningController:
                 count=len(group.node_ids), boot_delay_override=0.0
             )
             self._group_instances[group_id] = [i.instance_id for i in instances]
+            if self._timeline is not None:
+                self._timeline.record_event(
+                    self._sim.now, "attach", len(instances), group_id=group_id,
+                    detail="pre-provisioned group adopted")
 
     def start(self) -> None:
         """Begin the periodic control loop (idempotent)."""
@@ -322,8 +331,15 @@ class ProvisioningController:
                 group = self._cluster.add_replica_group()
                 self._group_instances[group.group_id] = list(ready_instances)
                 self._pending_groups -= 1
+                if self._timeline is not None:
+                    self._timeline.record_event(
+                        self._sim.now, "attach", replication,
+                        group_id=group.group_id, detail="group booted and attached")
 
         self._pool.launch(count=replication, on_ready=on_ready)
+        if self._timeline is not None:
+            self._timeline.record_event(
+                self._sim.now, "rent", replication, detail="replica group requested")
         return True
 
     # --------------------------------------------------------------- scaling down
@@ -335,9 +351,14 @@ class ProvisioningController:
             return False
         group_id = removable[-1]
         self._cluster.remove_replica_group(group_id)
-        for instance_id in self._group_instances.pop(group_id, []):
+        released = self._group_instances.pop(group_id, [])
+        for instance_id in released:
             self._pool.terminate(instance_id)
         self._low_demand_windows = 0
+        if self._timeline is not None:
+            self._timeline.record_event(
+                self._sim.now, "release", len(released), group_id=group_id,
+                detail="group decommissioned")
         return True
 
     # ---------------------------------------------------------------- reporting
@@ -351,6 +372,34 @@ class ProvisioningController:
     ) -> None:
         self._actions.append(action)
         self._plans.append(plan)
+        if self._timeline is not None:
+            self._timeline.record_decision(ProvisioningDecision(
+                time=now,
+                action_kind=action.kind,
+                groups_before=action.groups_before,
+                groups_after=action.groups_after,
+                target_nodes=plan.target_nodes,
+                forecast_rate=plan.forecast_rate,
+                reason=action.reason,
+                backend=plan.backend,
+                sizing_detail=plan.latency_detail,
+                analytic_nodes=plan.analytic_nodes,
+                ml_nodes=plan.ml_nodes,
+                ml_clamped=plan.ml_clamped,
+                clamp_band=plan.clamp_band,
+                latency_infeasible=plan.latency_infeasible,
+                cache_hit_rate=observation.cache_hit_rate,
+                sla_verdicts=[
+                    SlaVerdict(
+                        op=op,
+                        satisfied=report.satisfied,
+                        observed_latency=report.observed_percentile_latency,
+                        target_latency=report.target_latency,
+                        requests=report.request_count,
+                    )
+                    for op, report in sorted(observation.sla_reports.items())
+                ],
+            ))
         self._series.record("observed_rate", now, observation.request_rate)
         self._series.record("forecast_rate", now, plan.forecast_rate)
         self._series.record("target_nodes", now, plan.target_nodes)

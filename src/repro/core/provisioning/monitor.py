@@ -96,6 +96,7 @@ class SLAMonitor:
         hotspot_skew_ratio: float = 1.6,
         rate_tracker=None,
         sizing_model=None,
+        telemetry=None,
     ) -> None:
         """``sizing_model`` is an optional
         :class:`~repro.core.provisioning.analytic.AnalyticSizingModel`; when
@@ -125,6 +126,8 @@ class SLAMonitor:
         self._hotspot_skew_ratio = hotspot_skew_ratio
         self._rate_tracker = rate_tracker
         self._sizing_model = sizing_model
+        # Optional obs.Telemetry: per-window counters/gauges/histograms.
+        self._telemetry = telemetry
         self._extractor = FeatureExtractor()
         self._last_counts: Dict[str, int] = {}
         self._last_time: Optional[float] = None
@@ -203,6 +206,16 @@ class SLAMonitor:
         )
         self._train(observation)
         self._observations.append(observation)
+        telemetry = self._telemetry
+        if telemetry is not None:
+            telemetry.count("monitor.windows")
+            if observation.any_sla_violated():
+                telemetry.count("monitor.violation_windows")
+            telemetry.gauge("monitor.peak_request_rate", request_rate)
+            telemetry.gauge("monitor.peak_utilisation", stats.max_utilisation)
+            if duration > 0:
+                telemetry.observe("monitor.window_rate", request_rate)
+                telemetry.observe("monitor.window_cache_hit_rate", cache_hit_rate)
         return observation
 
     def _drain_cluster_read_percentile(self) -> Optional[float]:

@@ -57,6 +57,11 @@ class CapacityPlan:
     # True when the hybrid backend clamped the ML answer into the band.
     ml_clamped: bool = False
     clamp_band: float = 0.0
+    # The binding latency requirement's explanation — for the analytical and
+    # hybrid backends this is the SizingBreakdown.describe() string, which
+    # used to be computed and then dropped on the floor here.  The decision
+    # timeline (repro.obs.timeline) records it with every plan.
+    latency_detail: str = ""
 
     def describe(self) -> str:
         return (
@@ -243,4 +248,5 @@ class CapacityPlanner:
             latency_infeasible=False if binding is None else binding.infeasible,
             ml_clamped=False if binding is None else binding.clamped,
             clamp_band=self.clamp_band,
+            latency_detail="" if binding is None else binding.detail,
         )

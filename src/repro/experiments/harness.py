@@ -115,6 +115,11 @@ class ClosedLoopSummary:
     read_latency: Optional[PercentileEstimator]
     write_latency: Optional[PercentileEstimator]
     cache_hit_rate: float = 0.0
+    # Observability payloads (populated only when the run's engine had
+    # ``telemetry=`` on; all picklable and exactly mergeable, see repro.obs).
+    telemetry: Optional[object] = None  # obs.Telemetry
+    traces: Optional[list] = None  # List[obs.TraceRecord]
+    decision_timeline: Optional[object] = None  # obs.DecisionTimeline
 
     def summary(self) -> Dict[str, object]:
         return _result_summary(self)
@@ -166,6 +171,9 @@ class ClosedLoopResult:
             read_latency=estimator("read"),
             write_latency=estimator("write"),
             cache_hit_rate=self.engine.cache_hit_rate(),
+            telemetry=self.engine.collect_telemetry(),
+            traces=self.engine.traces() if self.engine.tracer is not None else None,
+            decision_timeline=self.engine.timeline,
         )
 
 

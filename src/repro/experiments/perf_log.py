@@ -14,7 +14,8 @@ caveats and the like), and at least one known measurement section:
 
 * ``scenario`` — the frozen single-run closed-loop scenario;
 * ``event_queue`` — the bare discrete-event kernel microbench;
-* ``sweep`` — the suite-level serial-vs-parallel sweep comparison.
+* ``sweep`` — the suite-level serial-vs-parallel sweep comparison;
+* ``telemetry`` — observability-on vs -off overhead on the scenario.
 
 Unknown entry keys, unknown section fields, and missing section fields are
 all rejected.
@@ -48,6 +49,13 @@ SECTION_FIELDS: Dict[str, Dict[str, str]] = {
         "serial_wall_seconds": "number",
         "parallel_wall_seconds": "number",
         "speedup": "number",
+        "results_identical": "bool",
+    },
+    "telemetry": {
+        "off_wall_seconds": "number",
+        "on_wall_seconds": "number",
+        "on_off_ratio": "number",
+        "traces": "int",
         "results_identical": "bool",
     },
 }

@@ -1,0 +1,29 @@
+"""Observability layer: span tracing, telemetry registry, attribution.
+
+Everything in this package is deliberately decoupled from the simulator:
+records hold plain floats/strings, are picklable across process-pool
+workers, and merge exactly (counters sum, histograms use
+``PercentileEstimator.merge``, traces concatenate in run order) so sweep
+results are byte-identical at any worker count.
+"""
+
+from repro.obs.attribution import WindowAttribution, attribute_windows, format_attribution
+from repro.obs.telemetry import Telemetry, TelemetryConfig
+from repro.obs.timeline import DecisionTimeline, FleetEvent, ProvisioningDecision, SlaVerdict
+from repro.obs.tracing import SPAN_KINDS, Span, TraceRecord, Tracer
+
+__all__ = [
+    "SPAN_KINDS",
+    "Span",
+    "TraceRecord",
+    "Tracer",
+    "Telemetry",
+    "TelemetryConfig",
+    "WindowAttribution",
+    "attribute_windows",
+    "format_attribution",
+    "DecisionTimeline",
+    "FleetEvent",
+    "ProvisioningDecision",
+    "SlaVerdict",
+]

@@ -1,0 +1,164 @@
+"""Unified telemetry registry: counters, gauges, and histograms.
+
+One ``Telemetry`` instance is shared by every subsystem of an engine;
+metric names are namespaced by convention (``"router.reads"``,
+``"cache.hits"``, ``"replication.lag"``).  Histograms are backed by the
+existing :class:`~repro.metrics.percentiles.PercentileEstimator`, which
+gives exact cross-process merging for free.
+
+Merge semantics (used by the sweep fabric):
+
+* counters — summed,
+* gauges — max (gauges here record high-water marks, e.g. peak fleet
+  size; a last-write-wins gauge would not be order-independent across
+  workers),
+* histograms — ``PercentileEstimator.merge`` (exact).
+
+The registry is plain data: no simulator references, picklable by
+default, and cheap — a counter bump is one dict ``get`` + add.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.metrics.percentiles import PercentileEstimator
+
+
+@dataclass(frozen=True)
+class TelemetryConfig:
+    """Knobs for the observability layer.
+
+    ``trace_sample_interval`` — every Nth operation *per op stream* opens
+    a trace.  Sampling is a deterministic modulo on a per-stream counter,
+    never an RNG draw, so enabling tracing cannot perturb the simulation.
+    ``max_traces`` bounds retained traces per tracer (oldest kept: the
+    cap stops appends rather than evicting, so the retained prefix is
+    identical regardless of when the run is inspected).
+    """
+
+    trace_sample_interval: int = 64
+    max_traces: int = 20000
+
+    def __post_init__(self) -> None:
+        if self.trace_sample_interval < 1:
+            raise ValueError("trace_sample_interval must be >= 1")
+        if self.max_traces < 0:
+            raise ValueError("max_traces must be >= 0")
+
+
+class Telemetry:
+    """Registry of counters/gauges/histograms for one engine instance."""
+
+    __slots__ = ("counters", "gauges", "_histograms")
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, int] = {}
+        self.gauges: Dict[str, float] = {}
+        self._histograms: Dict[str, PercentileEstimator] = {}
+
+    # ------------------------------------------------------------- recording
+
+    def count(self, name: str, delta: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + delta
+
+    def set_count(self, name: str, value: int) -> None:
+        """Overwrite a counter with an externally tracked absolute value."""
+        self.counters[name] = int(value)
+
+    def gauge(self, name: str, value: float) -> None:
+        """Record a high-water mark (merge takes the max)."""
+        current = self.gauges.get(name)
+        if current is None or value > current:
+            self.gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = PercentileEstimator()
+        histogram.add(value)
+
+    def histogram(self, name: str) -> PercentileEstimator:
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = PercentileEstimator()
+        return histogram
+
+    def set_histogram(self, name: str, estimator: PercentileEstimator) -> None:
+        """Replace a histogram with a copy of an externally tracked one.
+
+        The collection-time counterpart of :meth:`set_count`: a subsystem
+        that already maintains its own estimator on the hot path (e.g. the
+        engine's latency recorder) is folded in once at collection rather
+        than double-observed per request.  Copied, not referenced, so later
+        samples on the source don't leak into an already-taken registry and
+        repeated collection stays idempotent.
+        """
+        fresh = PercentileEstimator()
+        fresh.merge(estimator)
+        self._histograms[name] = fresh
+
+    def histograms(self) -> Dict[str, PercentileEstimator]:
+        return dict(self._histograms)
+
+    # --------------------------------------------------------------- merging
+
+    def merge(self, other: "Telemetry") -> "Telemetry":
+        for name, value in other.counters.items():
+            self.counters[name] = self.counters.get(name, 0) + value
+        for name, value in other.gauges.items():
+            self.gauge(name, value)
+        for name, histogram in other._histograms.items():
+            mine = self._histograms.get(name)
+            if mine is None:
+                mine = self._histograms[name] = PercentileEstimator()
+            mine.merge(histogram)
+        return self
+
+    # -------------------------------------------------------------- snapshot
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-able summary: counters/gauges verbatim, histogram stats."""
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
+            "histograms": {
+                name: est.snapshot()
+                for name, est in sorted(self._histograms.items())
+            },
+        }
+
+    # --------------------------------------------------------------- pickling
+
+    def __getstate__(self) -> Dict[str, object]:
+        return {
+            "counters": self.counters,
+            "gauges": self.gauges,
+            "histograms": self._histograms,
+        }
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.counters = state["counters"]  # type: ignore[assignment]
+        self.gauges = state["gauges"]  # type: ignore[assignment]
+        self._histograms = state["histograms"]  # type: ignore[assignment]
+
+
+def resolve_telemetry_config(
+    telemetry: "Optional[object]",
+) -> Optional[TelemetryConfig]:
+    """Normalise the ``Scads(telemetry=...)`` knob.
+
+    Accepts ``None``/``False`` (off), ``True`` (defaults), or a
+    :class:`TelemetryConfig`.
+    """
+    if telemetry is None or telemetry is False:
+        return None
+    if telemetry is True:
+        return TelemetryConfig()
+    if isinstance(telemetry, TelemetryConfig):
+        return telemetry
+    raise TypeError(
+        "telemetry must be None, a bool, or a TelemetryConfig, "
+        f"got {type(telemetry).__name__}"
+    )

@@ -1,0 +1,168 @@
+"""Structured provisioning decision timeline.
+
+Every control step the controller emits a :class:`ProvisioningDecision`
+binding together what was observed (SLA window verdicts, cache
+absorption), what the planner concluded (the full sizing rationale,
+including the analytical :class:`SizingBreakdown` description and the
+hybrid clamp-band outcome), and what was done about it (the action kind
+and group delta).  Rent/release/attach fleet movements are logged as
+:class:`FleetEvent` rows as they happen.
+
+This replaces reading ``describe()`` strings out of ad-hoc prints or
+digging through ``controller.plans()`` after the fact: the timeline is a
+first-class, picklable record that merges across sweep workers and dumps
+to JSON via ``scripts/analyze_trace.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass(slots=True)
+class SlaVerdict:
+    """One SLA's attainment over one control window."""
+
+    op: str
+    satisfied: bool
+    observed_latency: float
+    target_latency: float
+    requests: int
+
+
+@dataclass(slots=True)
+class ProvisioningDecision:
+    """One control step: observation -> plan -> action, fully explained."""
+
+    time: float
+    action_kind: str  # "scale_up", "scale_down", "repartition", "hold"
+    groups_before: int
+    groups_after: int
+    target_nodes: int
+    forecast_rate: float
+    reason: str
+    backend: str = ""
+    sizing_detail: str = ""  # the analytical SizingBreakdown.describe()
+    analytic_nodes: Optional[int] = None
+    ml_nodes: Optional[int] = None
+    ml_clamped: bool = False
+    clamp_band: float = 0.0
+    latency_infeasible: bool = False
+    cache_hit_rate: float = 0.0
+    sla_verdicts: List[SlaVerdict] = field(default_factory=list)
+
+    def describe(self) -> str:
+        verdicts = " ".join(
+            f"{v.op}:{'ok' if v.satisfied else 'VIOLATED'}"
+            f"({v.observed_latency * 1000:.1f}/{v.target_latency * 1000:.0f}ms)"
+            for v in self.sla_verdicts
+        )
+        lines = [
+            f"t={self.time:8.1f}s {self.action_kind:<11} "
+            f"groups {self.groups_before}->{self.groups_after} "
+            f"target={self.target_nodes} nodes "
+            f"forecast={self.forecast_rate:.0f} ops/s — {self.reason}"
+        ]
+        if verdicts:
+            lines.append(f"    sla: {verdicts}")
+        if self.sizing_detail:
+            lines.append(f"    sizing: {self.sizing_detail}")
+        if self.ml_clamped:
+            lines.append(
+                f"    hybrid: ml={self.ml_nodes} clamped to "
+                f"±{self.clamp_band:.0%} of analytic={self.analytic_nodes}"
+            )
+        return "\n".join(lines)
+
+
+@dataclass(slots=True)
+class FleetEvent:
+    """One fleet movement: instances rented, released, or a group attached."""
+
+    time: float
+    kind: str  # "rent", "release", "attach"
+    instances: int
+    group_id: str = ""
+    detail: str = ""
+
+    def describe(self) -> str:
+        group = f" group={self.group_id}" if self.group_id else ""
+        detail = f" ({self.detail})" if self.detail else ""
+        return f"t={self.time:8.1f}s {self.kind:<8} {self.instances} instance(s){group}{detail}"
+
+
+class DecisionTimeline:
+    """Append-only log of provisioning decisions and fleet events."""
+
+    __slots__ = ("decisions", "events")
+
+    def __init__(self) -> None:
+        self.decisions: List[ProvisioningDecision] = []
+        self.events: List[FleetEvent] = []
+
+    def record_decision(self, decision: ProvisioningDecision) -> None:
+        self.decisions.append(decision)
+
+    def record_event(
+        self, time: float, kind: str, instances: int, group_id: str = "", detail: str = ""
+    ) -> None:
+        self.events.append(
+            FleetEvent(time=time, kind=kind, instances=instances,
+                       group_id=group_id, detail=detail)
+        )
+
+    def merge(self, other: "DecisionTimeline") -> "DecisionTimeline":
+        """Concatenate another run's timeline (sweep merge, run order)."""
+        self.decisions.extend(other.decisions)
+        self.events.extend(other.events)
+        return self
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-able dump of the whole timeline."""
+        return {
+            "decisions": [
+                {
+                    "time": d.time,
+                    "action": d.action_kind,
+                    "groups_before": d.groups_before,
+                    "groups_after": d.groups_after,
+                    "target_nodes": d.target_nodes,
+                    "forecast_rate": d.forecast_rate,
+                    "reason": d.reason,
+                    "backend": d.backend,
+                    "sizing_detail": d.sizing_detail,
+                    "analytic_nodes": d.analytic_nodes,
+                    "ml_nodes": d.ml_nodes,
+                    "ml_clamped": d.ml_clamped,
+                    "clamp_band": d.clamp_band,
+                    "latency_infeasible": d.latency_infeasible,
+                    "cache_hit_rate": d.cache_hit_rate,
+                    "sla": [
+                        {
+                            "op": v.op,
+                            "satisfied": v.satisfied,
+                            "observed_latency": v.observed_latency,
+                            "target_latency": v.target_latency,
+                            "requests": v.requests,
+                        }
+                        for v in d.sla_verdicts
+                    ],
+                }
+                for d in self.decisions
+            ],
+            "events": [
+                {
+                    "time": e.time,
+                    "kind": e.kind,
+                    "instances": e.instances,
+                    "group_id": e.group_id,
+                    "detail": e.detail,
+                }
+                for e in self.events
+            ],
+        }
+
+    def describe(self, last: Optional[int] = None) -> str:
+        decisions = self.decisions if last is None else self.decisions[-last:]
+        return "\n".join(d.describe() for d in decisions) or "(no decisions)"

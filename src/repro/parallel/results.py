@@ -23,6 +23,8 @@ from repro.experiments.harness import ClosedLoopSummary
 from repro.metrics.cost import CostReport
 from repro.metrics.percentiles import PercentileEstimator
 from repro.metrics.sla import SLAReport
+from repro.obs.telemetry import Telemetry
+from repro.obs.timeline import DecisionTimeline
 
 
 @dataclass(slots=True)
@@ -96,6 +98,46 @@ def merge_estimators(
     return PercentileEstimator.merged(present)
 
 
+def merge_telemetry(registries: List[Optional[Telemetry]]) -> Optional[Telemetry]:
+    """Fold per-run telemetry registries into one (None when none present).
+
+    Counters sum, gauges take the max, histograms merge exactly — and the
+    fold runs in run-index order, so the result is identical at any worker
+    count (asserted by the trace-sweep determinism tests).
+    """
+    present = [t for t in registries if t is not None]
+    if not present:
+        return None
+    merged = Telemetry()
+    for registry in present:
+        merged.merge(registry)
+    return merged
+
+
+def merge_traces(trace_lists: List[Optional[list]]) -> Optional[list]:
+    """Concatenate per-run trace lists in run-index order (None when absent)."""
+    present = [traces for traces in trace_lists if traces is not None]
+    if not present:
+        return None
+    merged: list = []
+    for traces in present:
+        merged.extend(traces)
+    return merged
+
+
+def merge_timelines(
+    timelines: List[Optional[DecisionTimeline]],
+) -> Optional[DecisionTimeline]:
+    """Concatenate per-run decision timelines in run-index order."""
+    present = [t for t in timelines if t is not None]
+    if not present:
+        return None
+    merged = DecisionTimeline()
+    for timeline in present:
+        merged.merge(timeline)
+    return merged
+
+
 @dataclass(slots=True)
 class MergedCellReport:
     """One grid cell's replicates, aggregated."""
@@ -111,6 +153,10 @@ class MergedCellReport:
     cost: CostReport
     read_latency: Optional[PercentileEstimator]
     write_latency: Optional[PercentileEstimator]
+    # Observability aggregates (None unless the cell's runs carried them).
+    telemetry: Optional[Telemetry] = None
+    traces: Optional[list] = None
+    decision_timeline: Optional[DecisionTimeline] = None
 
     def summary(self) -> Dict[str, object]:
         """Flat dictionary for the sweep runner's printed table."""
@@ -168,6 +214,10 @@ def merge_cell(cell: str, params: Dict[str, Any],
         cost=cost,
         read_latency=read_latency,
         write_latency=write_latency,
+        telemetry=merge_telemetry([s.telemetry for s in summaries]),
+        traces=merge_traces([s.traces for s in summaries]),
+        decision_timeline=merge_timelines(
+            [s.decision_timeline for s in summaries]),
     )
 
 

@@ -227,6 +227,19 @@ class StorageNode:
         """Sample a service time at the node's current utilisation."""
         return self._latency.sample(self._rng)
 
+    def split_service(self, total: float) -> Tuple[float, float]:
+        """Decompose a just-sampled latency into (queue_wait, base_service).
+
+        The queueing model inflates the base draw by ``1 / (1 - rho)``, so
+        at the utilisation that produced the sample a fraction ``rho`` of
+        the total is time spent waiting rather than being served.  Called
+        by the tracer immediately after the op that produced ``total``
+        (``_record_arrival`` fixes rho before sampling); the two parts sum
+        to ``total`` exactly, so trace reconciliation is preserved.
+        """
+        rho = self._latency.utilisation
+        return total * rho, total * (1.0 - rho)
+
     # ------------------------------------------------------------------- data
 
     def _store(self, namespace: str) -> _NamespaceStore:

@@ -70,6 +70,14 @@ class Router:
         self._rotation_cache: Dict[str, Tuple[List[str], Tuple[Tuple[str, ...], ...]]] = {}
         # group size -> [pre-drawn index block, cursor] for replica choice.
         self._choice_pools: Dict[int, list] = {}
+        # Observability: None (the default) keeps tracing fully off the hot
+        # path — the per-op cost of disabled tracing is one attribute load.
+        self._tracer = None
+
+    def attach_tracer(self, tracer) -> None:
+        """Attach an ``obs.Tracer``; spans are recorded only while it has an
+        open trace (it samples deterministically, consuming no randomness)."""
+        self._tracer = tracer
 
     # ------------------------------------------------------------------ writes
 
@@ -114,23 +122,42 @@ class Router:
             version=version,
             tombstone=tombstone,
         )
+        tracer = self._tracer
+        traced = tracer is not None and tracer.active
         try:
             service = primary.put(namespace, key, versioned, now)
         except NodeDownError:
             fallback = self._migration_write_fallback(
                 migrations, group, namespace, key, versioned, now)
             if fallback is not None:
+                if traced:
+                    # The fallback's hop/service split is internal to it;
+                    # one timed dual_route span keeps the trace reconciled.
+                    tracer.add("dual_route", fallback.latency,
+                               detail="write accepted at migration source")
                 return fallback
             self._ops["failed"] += 1
+            if traced:
+                tracer.add("network", client_hop, detail="primary down")
             return RequestResult(success=False, latency=client_hop, error="primary down",
                                  node_id=group.primary)
 
+        if traced:
+            queue_wait, base_service = primary.split_service(service)
+            tracer.add("network", 2.0 * client_hop, detail=group.primary)
+            tracer.add("queue", queue_wait)
+            tracer.add("service", base_service)
+            if migrations:
+                tracer.add("dual_route", 0.0, detail="write mirrored to migration source")
         latency = 2.0 * client_hop + service
         if write_quorum > 1:
             acks, sync_latency = self._cluster.replication.synchronous_write(
                 group, namespace, key, versioned, write_quorum, now
             )
             latency += sync_latency
+            if traced:
+                tracer.add("replication_ack", sync_latency,
+                           detail=f"{acks}/{write_quorum} acks")
             if acks < write_quorum:
                 self._ops["failed"] += 1
                 return RequestResult(
@@ -201,6 +228,15 @@ class Router:
             except NodeDownError:
                 last_error = f"node {node_id} down"
                 continue
+            tracer = self._tracer
+            if tracer is not None and tracer.active:
+                queue_wait, base_service = node.split_service(service)
+                tracer.add("network", 2.0 * hop, detail=node_id)
+                tracer.add("queue", queue_wait)
+                tracer.add("service", base_service)
+                if node_id not in group.node_ids:
+                    tracer.add("dual_route", 0.0,
+                               detail="served by migration source replica")
             return RequestResult(success=True, latency=2.0 * hop + service,
                                  value=value, node_id=node_id)
         self._ops["failed"] += 1
@@ -247,6 +283,12 @@ class Router:
                 except (NetworkPartitionError, NodeDownError):
                     continue
                 latency = 2.0 * hop + service
+                tracer = self._tracer
+                if tracer is not None and tracer.active:
+                    # Batches run in parallel; the query layer composes them
+                    # by max and replaces these with one aggregate span.
+                    tracer.add("multiget", latency,
+                               detail=f"group={group_id} keys={len(group_keys)} via {node_id}")
                 for key in group_keys:
                     results[key] = RequestResult(success=True, latency=latency,
                                                  value=values.get(key), node_id=node_id)
@@ -276,6 +318,13 @@ class Router:
         all_rows: List[Tuple[Key, VersionedValue]] = []
         total_latency = 0.0
         contacted = 0
+        tracer = self._tracer
+        traced = tracer is not None and tracer.active
+        # Groups fan out in parallel and the client waits for the slowest, so
+        # only the winning group's spans stay on-path: everything recorded
+        # after this mark is demoted and the winner's slice re-promoted.
+        fanout_mark = tracer.mark() if traced else 0
+        winner_spans = (0, 0)
         for group in groups:
             candidates = (group.primary,) if from_primary else self._read_candidates(group)
             served = False
@@ -288,10 +337,21 @@ class Router:
                     rows, service = node.get_range(key_range, now, limit, reverse)
                 except (NetworkPartitionError, NodeDownError):
                     continue
+                group_mark = tracer.mark() if traced else 0
+                if traced:
+                    queue_wait, base_service = node.split_service(service)
+                    tracer.add("network", 2.0 * hop,
+                               detail=f"group={group.group_id} via {node_id}")
+                    tracer.add("queue", queue_wait)
+                    tracer.add("service", base_service)
                 all_rows.extend(rows)
                 # Multi-group ranges fan out in parallel; the client waits for
                 # the slowest group, not the sum.
-                total_latency = max(total_latency, 2.0 * hop + service)
+                contribution = 2.0 * hop + service
+                if contribution > total_latency:
+                    total_latency = contribution
+                    if traced:
+                        winner_spans = (group_mark, tracer.mark())
                 served = True
                 contacted += 1
                 break
@@ -299,11 +359,21 @@ class Router:
                 rows, hop_latency = self._range_migration_fallback(group, key_range,
                                                                    now, limit, reverse)
                 if rows is not None:
+                    group_mark = tracer.mark() if traced else 0
+                    if traced:
+                        tracer.add("dual_route", hop_latency,
+                                   detail=f"range for group={group.group_id} "
+                                          "served by migration source")
                     all_rows.extend(rows)
-                    total_latency = max(total_latency, hop_latency)
+                    if hop_latency > total_latency:
+                        total_latency = hop_latency
+                        if traced:
+                            winner_spans = (group_mark, tracer.mark())
                     contacted += 1
                     continue
                 self._ops["failed"] += 1
+                if traced:
+                    tracer.demote_since(fanout_mark)
                 return RequestResult(success=False, latency=total_latency,
                                      error=f"range unavailable in group {group.group_id}")
         all_rows.sort(key=lambda kv: kv[0], reverse=reverse)
@@ -321,6 +391,9 @@ class Router:
             for token in tokens:
                 cluster.note_access(key_range.namespace, (token,),
                                     is_write=False, token=token)
+        if traced:
+            tracer.demote_since(fanout_mark)
+            tracer.keep_on_path(*winner_spans)
         return RequestResult(success=True, latency=total_latency, rows=all_rows)
 
     # ------------------------------------------------- migration dual-routing
@@ -482,6 +555,9 @@ class Router:
                 self._cluster.migrations_for_key(namespace, key), group):
             node_ids.extend(source.node_ids)
         responses: List[Tuple[Optional[VersionedValue], float, str]] = []
+        splits: List[Tuple[float, float, float]] = []  # (2*hop, queue, service)
+        tracer = self._tracer
+        traced = tracer is not None and tracer.active
         for node_id in node_ids:
             if len(responses) >= read_quorum:
                 break
@@ -493,12 +569,25 @@ class Router:
                 value, service = node.get(namespace, key, now)
             except (NetworkPartitionError, NodeDownError):
                 continue
+            if traced:
+                queue_wait, base_service = node.split_service(service)
+                splits.append((2.0 * hop, queue_wait, base_service))
             responses.append((value, 2.0 * hop + service, node_id))
         if len(responses) < read_quorum:
             self._ops["failed"] += 1
             return RequestResult(success=False, latency=0.0,
                                  error=f"only {len(responses)}/{read_quorum} read responses")
         latency = max(latency for _, latency, _ in responses)
+        if traced:
+            # Quorum legs run in parallel: the slowest leg is on-path, the
+            # others are kept off-path for context.
+            winner = max(range(len(responses)), key=lambda i: responses[i][1])
+            for i, (net, queue_wait, base_service) in enumerate(splits):
+                off = i != winner
+                leg = responses[i][2]
+                tracer.add("network", net, detail=f"quorum leg {leg}", off_path=off)
+                tracer.add("queue", queue_wait, off_path=off)
+                tracer.add("service", base_service, off_path=off)
         newest: Optional[VersionedValue] = None
         newest_node = None
         for value, _, node_id in responses:

@@ -40,3 +40,20 @@ def test_consistency_tradeoffs_example_runs():
     assert result.returncode == 0, result.stderr
     assert "=== strict ===" in result.stdout
     assert "partition arbitration" in result.stdout
+
+
+def test_trace_demo_example_runs():
+    result = _run_example("trace_demo.py")
+    assert result.returncode == 0, result.stderr
+    assert "top-3 slowest traces" in result.stdout
+    assert "per-window p99 latency attribution" in result.stdout
+    assert "provisioning decision timeline" in result.stdout
+    # Every sampled trace reconciled (the N/N line prints the same number
+    # twice when none diverged).
+    for line in result.stdout.splitlines():
+        if line.startswith("span-sum reconciliation:"):
+            sampled, total = line.split()[2].split("/")
+            assert sampled == total
+            break
+    else:
+        raise AssertionError("reconciliation line missing from demo output")
