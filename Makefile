@@ -12,6 +12,17 @@
 #                      parallel experiment fabric (see PERFORMANCE.md)
 #   make sweep-smoke - tiny sweep grid on 2 workers; also runs inside
 #                      make bench-smoke via the bench_*.py glob
+#   make grid        - the default-on validation grid: scenario corpus x
+#                      {baseline, repartition, cache, both} cells with paired
+#                      seeds, gated by the pass/fail verdict table (exits
+#                      non-zero on any gate; see PERFORMANCE.md)
+#   make grid-smoke  - the grid's seconds-long smoke tier (what CI gates on;
+#                      economics/dominance gate skipped, SLA + consistency
+#                      gates kept)
+#   make lint        - ruff when installed, else compileall as the floor
+#   make perf-check  - validate BENCH_PERF.json against the perf-log schema
+#                      without recording anything (CI's report-only job)
+#   make ci          - the local mirror of every CI job, in CI's order
 #   make bench-provisioning - the provisioning-loop benchmarks (E6 scale-down
 #                      economics, fig4 consistency axes, E11 planner/forecast
 #                      ablations) in smoke mode — the quick check that the
@@ -22,7 +33,8 @@
 
 PYTEST := python -m pytest
 
-.PHONY: test test-all property bench bench-smoke bench-provisioning perf sweep sweep-smoke trace-demo
+.PHONY: test test-all property bench bench-smoke bench-provisioning perf \
+	sweep sweep-smoke grid grid-smoke lint perf-check ci trace-demo
 
 test:
 	$(PYTEST) -x -q
@@ -54,6 +66,28 @@ sweep:
 
 sweep-smoke:
 	BENCH_SMOKE=1 $(PYTEST) benchmarks/bench_perf_throughput.py -q -s -k sweep
+
+grid:
+	python scripts/run_grid.py --workers auto
+
+grid-smoke:
+	python scripts/run_grid.py --smoke --workers auto
+
+# Lint floor that works without network access: ruff when the runner has it
+# (CI does), byte-compilation as the always-available fallback.
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check . && echo "ruff: clean"; \
+	else \
+		echo "ruff not installed; falling back to compileall"; \
+	fi
+	python -m compileall -q src scripts benchmarks tests
+
+perf-check:
+	python scripts/validate_perf_log.py
+
+# The local mirror of .github/workflows/ci.yml, job by job.
+ci: lint test perf-check bench-smoke grid-smoke
 
 trace-demo:
 	python examples/trace_demo.py

@@ -56,6 +56,7 @@ def run_system(repartition: bool, seed: int = 7) -> Scads:
         control_interval=CONTROL_INTERVAL,
         max_instances=24,
         partitioner_kind="range",
+        cache=False,  # isolate repartitioning from the (default-on) cache tier
         repartition=repartition,
         repartition_hot_utilisation=0.3,
         repartition_cold_utilisation=0.2,

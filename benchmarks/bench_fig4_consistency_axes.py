@@ -16,9 +16,6 @@ from __future__ import annotations
 from repro import Scads
 from repro.core.consistency.spec import (
     ConsistencySpec,
-    DurabilitySLA,
-    PerformanceSLA,
-    ReadConsistency,
     SessionGuarantee,
     WriteConsistency,
     WritePolicy,

@@ -77,6 +77,11 @@ def _run_scenario_instrumented(duration: float,
     can be compared for byte-identical simulation behaviour (the
     telemetry-overhead test's determinism gate).
     """
+    # The frozen scenario pins the pre-flip engine shape (no cache tier, no
+    # rebalancer): BENCH_PERF.json entries recorded before the features
+    # became default-on must stay comparable with entries recorded after.
+    engine_kwargs = {"cache": False, "repartition": False,
+                     **(engine_kwargs or {})}
     engine, app, graph = build_engine_and_app(
         seed=SEED,
         n_users=N_USERS,
@@ -240,7 +245,11 @@ def _sweep_grid() -> SweepGrid:
     if smoke_mode():
         return smoke_grid(runs=4, base_seed=SWEEP_BASE_SEED,
                           duration=SWEEP_DURATION, rate=30.0)
-    scenario = replace(STANDARD_CLOSED_LOOP, duration=SWEEP_DURATION)
+    # Pin the pre-flip shape (defaults-off engine, PR 5's 4-group fleet) so
+    # recorded sweep entries stay comparable as shipped defaults move.
+    scenario = replace(STANDARD_CLOSED_LOOP, duration=SWEEP_DURATION,
+                       initial_groups=4,
+                       engine_knobs={"cache": False, "repartition": False})
     return SweepGrid(scenario=scenario, replicates=SWEEP_RUNS,
                      base_seed=SWEEP_BASE_SEED)
 

@@ -18,7 +18,7 @@ except ImportError:  # running from a source checkout without installation
     from repro import Scads
 
 from repro.core.query.analyzer import QueryRejected
-from repro.core.schema import EntitySchema, Field, FieldType
+from repro.core.schema import EntitySchema, Field
 
 
 def main() -> None:

@@ -14,10 +14,9 @@ import os
 import sys
 
 try:
-    from repro import Scads
+    import repro  # noqa: F401 — probe: is the package on the path?
 except ImportError:
     sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
-    from repro import Scads
 
 from repro.experiments.harness import build_engine_and_app, default_spec
 from repro.workloads.generator import LoadGenerator

@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Run the default-on validation grid (``make grid`` / ``make grid-smoke``).
+
+Expands the scenario corpus against the {baseline, repartition, cache, both}
+configuration cells with paired seeds, executes the runs on a process pool,
+prints the merged pass/fail verdict table, and exits non-zero if any gate
+fails — this is what CI's grid job invokes:
+
+    python scripts/run_grid.py --smoke --workers auto
+    python scripts/run_grid.py --only regional-failover --replicates 2
+    python scripts/run_grid.py --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.parallel.executor import run_sweep  # noqa: E402
+from repro.parallel.grid import (  # noqa: E402
+    CONFIG_CELLS,
+    build_grid_runs,
+    evaluate_grid,
+    grid_scenarios,
+    render_verdict_table,
+)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="run the seconds-long smoke variants (SLA gate "
+                             "on all cells, dominance/no-harm skipped)")
+    parser.add_argument("--workers", default="auto",
+                        help="process count, or 'auto' for the core count")
+    parser.add_argument("--replicates", type=int, default=1,
+                        help="paired-seed repetitions per cell (default: 1)")
+    parser.add_argument("--base-seed", type=int, default=0,
+                        help="root seed the paired per-run seeds derive from")
+    parser.add_argument("--only", default=None, nargs="+",
+                        help="run only the named scenarios (seeds unchanged)")
+    parser.add_argument("--list", action="store_true",
+                        help="list the corpus and configuration cells, then exit")
+    args = parser.parse_args()
+
+    if args.list:
+        print("configuration cells:")
+        for config, overrides in CONFIG_CELLS.items():
+            print(f"  {config}: {overrides}")
+        print("scenario corpus:")
+        for scenario in grid_scenarios(smoke=args.smoke):
+            faults = (f", {len(scenario.faults)} fault(s)"
+                      if scenario.faults else "")
+            print(f"  {scenario.name}: {scenario.trace.kind} trace, "
+                  f"{scenario.duration:.0f} sim-s, {scenario.mix} mix{faults}")
+        return 0
+
+    workers = os.cpu_count() or 1 if args.workers == "auto" else int(args.workers)
+    scenarios = grid_scenarios(smoke=args.smoke, names=args.only)
+    runs = build_grid_runs(scenarios=scenarios, replicates=args.replicates,
+                           base_seed=args.base_seed)
+    tier = "smoke" if args.smoke else "full"
+    print(f"validation grid ({tier}): {len(scenarios)} scenarios x "
+          f"{len(CONFIG_CELLS)} configs x {args.replicates} replicate(s) = "
+          f"{len(runs)} runs on {workers} workers")
+
+    def progress(completed: int, total: int, record) -> None:
+        status = "ok" if record.ok else f"FAILED ({record.error_type})"
+        print(f"  [{completed}/{total}] {record.run_id}: {status} "
+              f"({record.wall_seconds:.1f}s)", flush=True)
+
+    result = run_sweep(runs, workers=workers, progress=progress)
+    print(f"\ngrid wall-clock: {result.wall_seconds:.1f}s "
+          f"on {result.workers} workers\n")
+    verdict = evaluate_grid(result, scenarios, smoke=args.smoke)
+    print(render_verdict_table(verdict))
+    for failure in result.failures:
+        print(f"\n--- {failure.run_id} (seed {failure.seed}) ---")
+        print(failure.traceback)
+    if not verdict.passed:
+        print("\nfailed gates:")
+        for line in verdict.failures():
+            print(f"  {line}")
+    return 0 if verdict.passed else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

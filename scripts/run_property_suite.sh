@@ -5,6 +5,21 @@
 # Marker-driven, so new property suites are picked up automatically — this
 # includes the planner-backend properties in tests/test_planner_backends.py
 # (analytical sizing monotone in rate and node capacity).
-set -e
+set -eu
 cd "$(dirname "$0")/.."
-HYPOTHESIS_PROFILE=thorough python -m pytest -m property --runslow -q "$@"
+
+# Fail loudly when the toolchain is absent: a missing interpreter or pytest
+# must read as "the suite did not run", never as a green exit.
+if ! command -v python >/dev/null 2>&1; then
+    echo "run_property_suite.sh: python not found on PATH" >&2
+    exit 127
+fi
+for module in pytest hypothesis; do
+    if ! python -c "import $module" >/dev/null 2>&1; then
+        echo "run_property_suite.sh: $module is not installed" \
+             "(pip install -r requirements-dev.txt)" >&2
+        exit 1
+    fi
+done
+
+HYPOTHESIS_PROFILE=thorough exec python -m pytest -m property --runslow -q "$@"

@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Validate BENCH_PERF.json against the perf-log schema (``make perf-check``).
+
+Report-only: loads the committed trajectory through the same validator
+``make perf`` records through, prints one line per entry, and exits non-zero
+on any schema violation.  Nothing is measured and nothing is written — this
+is CI's cheap guard against a malformed entry landing in the append-only
+history and breaking some later PR's speedup comparison.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.experiments.perf_log import (  # noqa: E402
+    PerfLogSchemaError,
+    SECTION_FIELDS,
+    load_trajectory,
+)
+
+DEFAULT_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                            "..", "BENCH_PERF.json")
+
+
+def main() -> int:
+    path = sys.argv[1] if len(sys.argv) > 1 else DEFAULT_PATH
+    if not os.path.exists(path):
+        print(f"{path}: missing — the perf trajectory should be committed")
+        return 1
+    try:
+        trajectory = load_trajectory(path)
+    except PerfLogSchemaError as exc:
+        print(f"{path}: SCHEMA VIOLATION: {exc}")
+        return 1
+    if not trajectory:
+        print(f"{path}: empty trajectory — expected recorded entries")
+        return 1
+    for entry in trajectory:
+        sections = [name for name in SECTION_FIELDS if name in entry]
+        print(f"  {entry['label']}: {', '.join(sections)}")
+    print(f"{os.path.basename(path)}: {len(trajectory)} entries, schema ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,7 +11,7 @@ the app never touches the storage substrate directly.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional
+from typing import Any, List
 
 from repro.core.engine import OperationOutcome, Scads
 from repro.core.query.executor import QueryResult

@@ -10,7 +10,7 @@ and compare latency / consistency outcomes against one declarative spec.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Tuple
 
 from repro.sim.simulator import Simulator
 from repro.storage.cluster import Cluster

@@ -19,7 +19,7 @@ wide scans cannot silently dwarf thousands of entity entries.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, Hashable, Optional, Tuple
 
 from repro.storage.records import Key, KeyRange

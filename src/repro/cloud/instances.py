@@ -9,7 +9,7 @@ the defaults are round numbers documented here rather than hidden constants.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 

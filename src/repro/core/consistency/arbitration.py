@@ -15,7 +15,7 @@ recorded decisions feed back into provisioning, as the paper suggests.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List
 
 from repro.core.consistency.spec import Axis, ConsistencySpec

@@ -9,7 +9,7 @@ replication.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from repro.core.consistency.spec import SessionGuarantee

@@ -16,7 +16,7 @@ which decides (a) what value actually gets stored given the current value and
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Optional
 
 from repro.core.consistency.spec import WriteConsistency, WritePolicy
 

@@ -38,15 +38,18 @@ until the cached copy has caught up.  The provisioning loop sees the cache:
 the :class:`~repro.core.provisioning.monitor.SLAMonitor` measures the window
 hit rate and the :class:`~repro.core.provisioning.planner.CapacityPlanner`
 discounts forecast demand by the absorbed fraction, so the controller does
-not rent replica groups for load the cache is already serving.  The knob
-defaults to off, preserving the uncached behaviour of E1–E13.
+not rent replica groups for load the cache is already serving.  The tier is
+**on by default** (validated as safe across the full scenario grid — see
+``make grid`` and the "Validation grid" section of PERFORMANCE.md); pass
+``cache=False`` to opt out and reproduce the uncached seed behaviour E14
+compares against.
 
 Elasticity & repartitioning
 ---------------------------
 
 Capacity scales in whole replica groups, but *placement* scales in key
-ranges.  With ``repartition=True`` the engine attaches a hot-partition
-:class:`~repro.storage.rebalancer.Rebalancer`: the router feeds a decayed
+ranges.  By default (``repartition=False`` opts out) the engine attaches a
+hot-partition :class:`~repro.storage.rebalancer.Rebalancer`: the router feeds a decayed
 per-partition load sketch, and when a control window shows one hot replica
 group while the cluster mean has headroom (a Zipf hotspot, not an overload),
 the provisioning loop prefers a sub-group action over renting a group —
@@ -61,7 +64,6 @@ adjacent ranges are re-merged in quiet windows.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -94,7 +96,12 @@ from repro.core.query.plans import (
 )
 from repro.core.schema import EntitySchema, Relationship, SchemaRegistry
 from repro.metrics.percentiles import LatencyRecorder, PercentileEstimator
-from repro.metrics.sla import SLATracker
+from repro.metrics.sla import (
+    COMPLIANCE_WINDOW_SECONDS,
+    ComplianceWindow,
+    SLATracker,
+    WindowedComplianceTracker,
+)
 from repro.ml.forecaster import WorkloadForecaster
 from repro.obs.telemetry import Telemetry, TelemetryConfig, resolve_telemetry_config
 from repro.obs.timeline import DecisionTimeline
@@ -105,7 +112,7 @@ from repro.storage.cluster import Cluster
 from repro.storage.durability import DurabilityModel
 from repro.storage.rebalancer import Rebalancer
 from repro.storage.records import Key, KeyRange, prefix_range
-from repro.storage.router import RequestResult, Router
+from repro.storage.router import Router
 
 
 @dataclass(slots=True)
@@ -200,17 +207,20 @@ class Scads:
         partitioner_kind: ``"hash"`` (consistent hashing, default) or
             ``"range"`` (explicit split points; required for range-level
             split/merge actions).
-        repartition: attach the hot-partition rebalancer so the provisioning
-            loop can repair load skew with targeted split/migrate actions
+        repartition: the hot-partition rebalancer, letting the provisioning
+            loop repair load skew with targeted split/migrate actions
             instead of renting whole replica groups (see the module
-            docstring's "Elasticity & repartitioning" section).
+            docstring's "Elasticity & repartitioning" section).  **Default
+            on** (``None`` resolves to enabled); pass ``False`` to opt out
+            and scale in whole replica groups only.
         repartition_hot_utilisation / repartition_cold_utilisation: group
             utilisation thresholds that define a migratable imbalance.
-        cache: attach the staleness-budget cache tier (see the module
-            docstring's "Staleness-budget cache tier" section).  ``True``
-            uses :class:`~repro.cache.tier.CacheConfig` defaults; pass a
-            config to size the cache or tune the propagation headroom.
-            Defaults to off (every read pays full cluster latency).
+        cache: the staleness-budget cache tier (see the module docstring's
+            "Staleness-budget cache tier" section).  **Default on** with
+            :class:`~repro.cache.tier.CacheConfig` defaults (``None``
+            resolves to enabled, as does ``True``); pass a config to size
+            the cache or tune the propagation headroom, or ``False`` to opt
+            out so every read pays full cluster latency.
         planner_backend: how the planner answers the latency sizing question —
             ``"analytical"`` (closed-form M/G/k model), ``"ml"`` (learned
             latency model, the pre-clamp behaviour), or ``"hybrid"``
@@ -253,7 +263,7 @@ class Scads:
         fifo_updates: bool = False,
         min_groups: int = 1,
         partitioner_kind: str = "hash",
-        repartition: bool = False,
+        repartition: Optional[bool] = None,
         repartition_hot_utilisation: float = 0.75,
         repartition_cold_utilisation: float = 0.5,
         cache: Union[None, bool, CacheConfig] = None,
@@ -277,6 +287,11 @@ class Scads:
             node_capacity_ops=instance_type.capacity_ops_per_sec,
             partitioner_kind=partitioner_kind,
         )
+        # Both big subsystems default ON (the validation grid's green verdict
+        # is the receipt — see PERFORMANCE.md "Validation grid"); ``False``
+        # opts out explicitly, ``None`` means "the shipped default".
+        repartition = True if repartition is None else bool(repartition)
+        self.repartition = repartition
         self.rebalancer: Optional[Rebalancer] = None
         if repartition:
             self.rebalancer = Rebalancer(
@@ -289,6 +304,8 @@ class Scads:
             )
         self.router = Router(self.cluster)
         self.cache: Optional[CacheTier] = None
+        if cache is None:
+            cache = True  # shipped default: the staleness-budget tier is on
         if cache:
             cache_config = cache if isinstance(cache, CacheConfig) else CacheConfig()
             self.cache = CacheTier(cache_config, spec=self.spec, simulator=self.sim)
@@ -347,7 +364,19 @@ class Scads:
             op: SLATracker(op, sla.percentile, sla.latency, sla.availability)
             for op, sla in self.slas.items()
         }
+        # Fixed-clock compliance windows (two ints per window per op) — the
+        # always-on series the validation grid's windowed SLA policy gates
+        # on, independent of whether the autoscale monitor ever ticks.
+        self._compliance: Dict[str, WindowedComplianceTracker] = {
+            op: WindowedComplianceTracker(COMPLIANCE_WINDOW_SECONDS, sla.latency)
+            for op, sla in self.slas.items()
+        }
         self._op_counts: Dict[str, int] = {"read": 0, "write": 0}
+        # Reads served under arbitration with an *unverifiable* staleness
+        # bound (primary unreachable / failed mid-check).  The validation
+        # grid requires this to stay 0 in fault-free cells: the declared
+        # bound must hold by verification, not by luck.
+        self._stale_served = 0
         # Latencies of reads the *cluster* served this control window (cache
         # hits excluded).  When cache absorption blends the window's read
         # percentile, this is the clean label the latency model trains on.
@@ -866,6 +895,8 @@ class Scads:
 
         if session is not None:
             session.note_read(namespace, key, value)
+        if stale:
+            self._stale_served += 1
         return value, latency, True, stale, None, known_staleness
 
     # --------------------------------------------------------- provider interface
@@ -933,6 +964,8 @@ class Scads:
                    cluster_served: bool = True) -> None:
         self._op_counts[op_type] = self._op_counts.get(op_type, 0) + 1
         self._trackers[op_type].observe(latency if success else None, success)
+        self._compliance[op_type].observe(
+            self.sim.now, latency if success else None)
         # Per-op telemetry counters/histograms (`engine.*.ops`, latency
         # distributions) duplicate state the engine already tracks, so they
         # are folded in at collection time (collect_telemetry), not here;
@@ -964,6 +997,10 @@ class Scads:
         """Overall SLA attainment for one operation type."""
         return self._trackers[op_type].overall_report()
 
+    def sla_compliance_windows(self, op_type: str = "read") -> List[ComplianceWindow]:
+        """Fixed-clock windowed compliance series (validation-grid substrate)."""
+        return self._compliance[op_type].windows()
+
     def cost_so_far(self) -> float:
         """Dollars spent on instances so far."""
         return self.pool.total_cost()
@@ -971,6 +1008,10 @@ class Scads:
     def cache_hit_rate(self) -> float:
         """All-time cache hit rate (0.0 without a cache tier)."""
         return self.cache.hit_rate() if self.cache is not None else 0.0
+
+    def stale_read_count(self) -> int:
+        """Reads served stale under arbitration (bound unverifiable)."""
+        return self._stale_served
 
     def node_count(self) -> int:
         return self.cluster.node_count()

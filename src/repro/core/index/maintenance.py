@@ -14,15 +14,14 @@ the same friend-of-friend.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Protocol, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Protocol, Set, Tuple
 
 from repro.core.query.plans import (
     CompiledQuery,
     IndexSpec,
     ReverseIndexSpec,
-    entity_namespace,
-)
+    )
 from repro.core.schema import EntitySchema, SchemaRegistry
 from repro.storage.records import Key
 
@@ -294,7 +293,6 @@ class IndexMaintainer:
                 f"maintenance for {schema.name}.{column} needs a reverse index but the "
                 f"compiler did not produce one"
             )
-        from repro.core.query.plans import reverse_index_namespace
 
         keys = self._storage.reverse_keys(reverse_index, value)
         result.lookup_ops += 1 + len(keys)

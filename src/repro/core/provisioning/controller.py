@@ -19,15 +19,16 @@ keys and rents nothing — and only falls back to launching a group when
 repeated repartitioning has not relieved the pressure.
 
 Scale-down is deliberately conservative (sustained low demand over several
-windows, at most one group per interval) because removing capacity is cheap
-to defer and expensive to get wrong — the asymmetry the paper's economics
-argument relies on.
+windows, at most one group per interval, and never while the current window
+is violating its SLA) because removing capacity is cheap to defer and
+expensive to get wrong — the asymmetry the paper's economics argument
+relies on.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.cloud.pool import InstancePool
@@ -220,7 +221,11 @@ class ProvisioningController:
                 reason=plan.reason,
             )
         self._consecutive_repartitions = 0
-        if target_groups < current_groups and self._pending_groups == 0:
+        if target_groups < current_groups and self._pending_groups == 0 \
+                and not observation.any_sla_violated():
+            # A low planner target during a violated window is a model
+            # artifact (saturation corrupts the service-time features), not
+            # low demand — never shrink a fleet that is missing its SLA.
             self._low_demand_windows += 1
             if self._low_demand_windows >= self.scale_down_patience and current_groups > 1:
                 removed = self._remove_one_group()

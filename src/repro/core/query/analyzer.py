@@ -20,7 +20,7 @@ admission experiment (E2) can report *why* each template was refused — the
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple, Union
 
 from repro.core.query.ast import (

@@ -8,10 +8,10 @@ reproduction bench checks against the paper's table.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
-from repro.core.query.analyzer import AnalyzedQuery, ChainStep
-from repro.core.query.ast import Literal, Parameter, Predicate
+from repro.core.query.analyzer import AnalyzedQuery
+from repro.core.query.ast import Parameter, Predicate
 from repro.core.query.plans import (
     CompiledQuery,
     CompiledStep,

@@ -9,11 +9,11 @@ consistency-aware read path, the quorum baseline, or a plain dict in tests.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from repro.core.query.plans import PrefixComponent, QueryPlan, RangeBound
-from repro.storage.records import Key, KeyRange, key_part_successor, prefix_range
+from repro.core.query.plans import PrefixComponent, QueryPlan
+from repro.storage.records import Key, key_part_successor, prefix_range
 
 # (namespace, start, end, limit, reverse) -> (list of (key, value_dict), latency)
 RangeReadFn = Callable[[str, Optional[Key], Optional[Key], Optional[int], bool],

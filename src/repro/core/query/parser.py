@@ -21,7 +21,7 @@ disjunction cannot be answered from one contiguous index range.
 
 from __future__ import annotations
 
-from typing import List, Optional, Union
+from typing import List, Union
 
 from repro.core.query.ast import (
     ColumnRef,

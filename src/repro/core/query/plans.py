@@ -14,7 +14,7 @@ A compiled query template yields
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, List, Optional, Tuple, Union
+from typing import Any, List, Optional
 
 INDEX_NAMESPACE_PREFIX = "index:"
 REVERSE_NAMESPACE_PREFIX = "revidx:"

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -30,8 +30,13 @@ from repro.core.engine import Scads
 from repro.metrics.cost import CostReport
 from repro.metrics.percentiles import PercentileEstimator
 from repro.metrics.sla import SLAReport
+from repro.storage.failure import FailureInjector
 from repro.workloads.generator import LoadGenerator
-from repro.workloads.opmix import WRITE_HEAVY_MIX, CloudStoneMix, OperationKind
+from repro.workloads.opmix import (
+    UNIFORM_READ_MIX,
+    WRITE_HEAVY_MIX,
+    CloudStoneMix,
+    )
 from repro.workloads.social_graph import SocialGraph
 from repro.workloads.traces import LoadTrace
 
@@ -115,6 +120,15 @@ class ClosedLoopSummary:
     read_latency: Optional[PercentileEstimator]
     write_latency: Optional[PercentileEstimator]
     cache_hit_rate: float = 0.0
+    # Reads served stale under arbitration (staleness bound unverifiable).
+    # The validation grid's staleness check gates on this staying 0 in
+    # fault-free cells.
+    stale_reads: int = 0
+    # Fixed-clock windowed SLA compliance series (see
+    # metrics.sla.WindowedComplianceTracker) — the substrate the grid's
+    # declared SLA policy (violation budget + re-attainment) gates on.
+    read_windows: list = field(default_factory=list)
+    write_windows: list = field(default_factory=list)
     # Observability payloads (populated only when the run's engine had
     # ``telemetry=`` on; all picklable and exactly mergeable, see repro.obs).
     telemetry: Optional[object] = None  # obs.Telemetry
@@ -171,6 +185,9 @@ class ClosedLoopResult:
             read_latency=estimator("read"),
             write_latency=estimator("write"),
             cache_hit_rate=self.engine.cache_hit_rate(),
+            stale_reads=self.engine.stale_read_count(),
+            read_windows=self.engine.sla_compliance_windows("read"),
+            write_windows=self.engine.sla_compliance_windows("write"),
             telemetry=self.engine.collect_telemetry(),
             traces=self.engine.traces() if self.engine.tracer is not None else None,
             decision_timeline=self.engine.timeline,
@@ -241,6 +258,60 @@ def build_engine_and_app(
     return engine, app, graph
 
 
+def build_mix(kind: str, graph: SocialGraph,
+              rng: np.random.Generator) -> CloudStoneMix:
+    """The registered operation mixes, by name.
+
+    ``cloudstone`` is the default interactive mix, ``write_heavy`` the
+    Halloween-style upload mix, and ``uniform_read`` the cache-hostile
+    read-only mix with *uniform* user popularity (no skew for a front tier
+    to exploit).  RNG consumption is identical across kinds up to the first
+    draw, so swapping the mix never perturbs other streams.
+    """
+    if kind == "uniform_read":
+        return CloudStoneMix(graph, rng, mix=UNIFORM_READ_MIX, zipf_theta=0.0)
+    mix = CloudStoneMix(graph, rng)
+    if kind == "write_heavy":
+        mix.set_mix(WRITE_HEAVY_MIX)
+    elif kind != "cloudstone":
+        raise ValueError(
+            f"unknown mix kind {kind!r} "
+            "(registered: cloudstone, write_heavy, uniform_read)")
+    return mix
+
+
+def install_fault_plan(engine: Scads, plan: Sequence,
+                       start_time: Optional[float] = None) -> FailureInjector:
+    """Schedule a declarative fault plan against a running engine.
+
+    ``plan`` items carry ``kind`` / ``at`` / ``duration`` / ``params`` (see
+    :class:`repro.parallel.spec.FaultSpec`); ``at`` is relative to
+    ``start_time`` (default: the engine's current simulated time, i.e. the
+    moment the closed loop starts).  Two kinds are registered:
+
+    * ``zone_outage`` — the ``zone_index``-th member of every replica group
+      crashes simultaneously and recovers after ``duration`` (regional
+      failover: read capacity drains, replicas fail over, primaries live);
+    * ``crash_random`` — ``count`` random alive nodes crash for ``duration``.
+    """
+    injector = FailureInjector(engine.cluster)
+    offset = engine.now if start_time is None else start_time
+    for fault in plan:
+        params = dict(getattr(fault, "params", {}) or {})
+        if fault.kind == "zone_outage":
+            injector.zone_outage(at=offset + fault.at, duration=fault.duration,
+                                 **params)
+        elif fault.kind == "crash_random":
+            injector.crash_random_nodes(count=int(params.pop("count", 1)),
+                                        at=offset + fault.at,
+                                        duration=fault.duration)
+        else:
+            raise ValueError(
+                f"unknown fault kind {fault.kind!r} "
+                "(registered: zone_outage, crash_random)")
+    return injector
+
+
 def run_closed_loop(
     trace: LoadTrace,
     duration: float,
@@ -257,8 +328,16 @@ def run_closed_loop(
     instance_type: InstanceType = SCALED_DOWN_INSTANCE,
     fifo_updates: bool = False,
     engine_kwargs: Optional[Dict[str, object]] = None,
+    mix_kind: Optional[str] = None,
+    faults: Sequence = (),
 ) -> ClosedLoopResult:
-    """Run one complete closed-loop experiment and collect its results."""
+    """Run one complete closed-loop experiment and collect its results.
+
+    ``mix_kind`` names a registered operation mix (see :func:`build_mix`) and
+    supersedes the older ``write_heavy`` flag when given; ``faults`` is a
+    declarative fault plan installed via :func:`install_fault_plan` before
+    the load starts.
+    """
     engine, app, graph = build_engine_and_app(
         seed=seed,
         n_users=n_users,
@@ -273,13 +352,14 @@ def run_closed_loop(
         engine_kwargs=engine_kwargs,
     )
     engine.start()
-    mix = CloudStoneMix(graph, engine.sim.random.get("workload-mix"))
-    if write_heavy:
-        mix.set_mix(WRITE_HEAVY_MIX)
+    kind = mix_kind or ("write_heavy" if write_heavy else "cloudstone")
+    mix = build_mix(kind, graph, engine.sim.random.get("workload-mix"))
     generator = LoadGenerator(
         engine.sim, trace, mix, app.execute, sampling_fraction=sampling_fraction
     )
     start_time = engine.now
+    if faults:
+        install_fault_plan(engine, faults, start_time=start_time)
     generator.start()
     engine.run_for(duration)
     generator.stop()

@@ -9,8 +9,8 @@ provisioning loop reacts to) and for the whole experiment (what
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import List, Optional
 
 
 @dataclass
@@ -182,3 +182,64 @@ class SLATracker:
             return 0.0
         violated = sum(1 for r in self._window_reports if not r.satisfied)
         return violated / len(self._window_reports)
+
+
+# --------------------------------------------------- fixed-clock compliance
+
+#: Width of the fixed compliance windows every engine tracks (seconds of
+#: simulated time).  Unlike :meth:`SLATracker.close_window`, which only fires
+#: when the provisioning monitor ticks (autoscale on), these windows are a
+#: pure function of the sim clock — every run yields the same per-window
+#: compliance series for the validation grid's SLA policy to gate on.
+COMPLIANCE_WINDOW_SECONDS = 60.0
+
+
+@dataclass(slots=True)
+class ComplianceWindow:
+    """Request-level SLA compliance counters for one fixed clock window."""
+
+    start: float
+    total: int
+    within: int
+
+    @property
+    def fraction_within(self) -> float:
+        return self.within / self.total if self.total else 1.0
+
+    def compliant(self, target_percentile: float) -> bool:
+        """Did this window meet "P percent of requests within L seconds"?"""
+        return self.fraction_within >= target_percentile / 100.0
+
+
+class WindowedComplianceTracker:
+    """Per-window "requests within target latency" counts, always on.
+
+    Two integers per (window, op type) — cheap enough for the hot request
+    path — which is all the validation grid's windowed SLA policy needs:
+    whether each window's within-fraction met the declared percentile.
+    Failed requests count toward the window total but never as within.
+    """
+
+    __slots__ = ("window_seconds", "target_latency", "_buckets")
+
+    def __init__(self, window_seconds: float, target_latency: float) -> None:
+        if window_seconds <= 0:
+            raise ValueError("window_seconds must be positive")
+        self.window_seconds = window_seconds
+        self.target_latency = target_latency
+        self._buckets: dict = {}
+
+    def observe(self, now: float, latency: Optional[float]) -> None:
+        """Record one request; ``latency=None`` means the request failed."""
+        bucket = self._buckets.setdefault(int(now // self.window_seconds), [0, 0])
+        bucket[0] += 1
+        if latency is not None and latency <= self.target_latency:
+            bucket[1] += 1
+
+    def windows(self) -> List[ComplianceWindow]:
+        """Traffic windows in clock order (empty windows are absent)."""
+        return [
+            ComplianceWindow(start=index * self.window_seconds,
+                             total=total, within=within)
+            for index, (total, within) in sorted(self._buckets.items())
+        ]

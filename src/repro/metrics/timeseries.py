@@ -7,7 +7,7 @@ percentiles — and print or summarise them the way the paper's figures do.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 

@@ -9,7 +9,7 @@ recent validation error, and predict with the weighted average.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 import numpy as np
 

@@ -11,7 +11,7 @@ case, where linear extrapolation would systematically under-provision.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Optional, Tuple
+from typing import Deque, Tuple
 
 import numpy as np
 

@@ -58,9 +58,10 @@ def run_scenario(scenario: ScenarioSpec, seed: int) -> ClosedLoopSummary:
         initial_groups=scenario.initial_groups,
         control_interval=scenario.control_interval,
         sampling_fraction=scenario.sampling_fraction,
-        write_heavy=scenario.mix == "write_heavy",
+        mix_kind=scenario.mix,
         fifo_updates=scenario.fifo_updates,
         engine_kwargs=dict(scenario.engine_knobs) or None,
+        faults=scenario.faults,
     )
     return result.portable()
 

@@ -25,7 +25,7 @@ be re-parameterised in place mid-stream (construct a new model instead).
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 

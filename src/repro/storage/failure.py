@@ -8,7 +8,7 @@ interleave naturally with the workload.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Set
 
 from repro.sim.network import Partition
@@ -70,6 +70,49 @@ class FailureInjector:
             raise ValueError(f"cannot crash {count} nodes, only {len(alive)} alive")
         chosen = list(self._failure_rng.choice(alive, size=count, replace=False))
         return [self.crash_node(node_id, at, duration) for node_id in chosen]
+
+    def zone_outage(self, at: float, duration: float,
+                    zone_index: int = 1) -> FaultRecord:
+        """Take down one "availability zone": the ``zone_index``-th member of
+        every replica group, simultaneously, for ``duration`` seconds.
+
+        Models a regional failure under the common zone-spread placement
+        (each group stripes its replicas across zones, so a zone loss costs
+        every group one member at once).  Membership is resolved when the
+        fault *fires*, not when it is scheduled — groups rented between now
+        and then lose their member too, which is what a real zone outage
+        does.  ``zone_index >= 1`` spares the primaries (index 0): the outage
+        drains read capacity and forces replica failover without also
+        severing the write path, which is a different experiment
+        (:meth:`partition_groups`).
+        """
+        if zone_index < 0:
+            raise ValueError("zone_index must be non-negative")
+        record = FaultRecord(kind="zone-outage", target=f"zone-{zone_index}",
+                             start=at, end=at + duration)
+        self._faults.append(record)
+        downed: List[str] = []
+
+        def go_down() -> None:
+            for group in self._cluster.groups.values():
+                if zone_index >= len(group.node_ids):
+                    continue
+                node = self._cluster.nodes.get(group.node_ids[zone_index])
+                if node is not None and node.alive:
+                    node.crash()
+                    downed.append(node.node_id)
+
+        def come_back() -> None:
+            for node_id in downed:
+                node = self._cluster.nodes.get(node_id)
+                if node is not None:
+                    node.recover()
+                    self._cluster.reconcile_node(node_id)
+
+        self._sim.schedule_at(at, go_down, name=f"zone-outage:{zone_index}")
+        self._sim.schedule_at(at + duration, come_back,
+                              name=f"zone-recover:{zone_index}")
+        return record
 
     # --------------------------------------------------------------- partitions
 

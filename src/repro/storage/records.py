@@ -8,8 +8,8 @@ contiguous-range semantics the SCADS query model requires.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, Optional, Tuple, Union
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple, Union
 
 KeyPart = Union[str, int, float]
 Key = Tuple[KeyPart, ...]

@@ -12,7 +12,7 @@ default fraction of 1.0 every request is simulated.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable
 
 from repro.sim.simulator import Simulator
 from repro.workloads.opmix import CloudStoneMix, Operation

@@ -56,6 +56,16 @@ WRITE_HEAVY_MIX: Dict[OperationKind, float] = {
     OperationKind.UPDATE_PROFILE: 0.05,
 }
 
+# Cache-hostile scan: every operation is a read, but user popularity is
+# *uniform* (pair with ``zipf_theta=0.0``), so no working set concentrates and
+# a front-tier cache keeps missing.  The validation grid uses this to prove
+# the cache tier degrades gracefully when its premise (skew) is absent.
+UNIFORM_READ_MIX: Dict[OperationKind, float] = {
+    OperationKind.READ_PROFILE: 0.50,
+    OperationKind.READ_FRIENDS: 0.30,
+    OperationKind.READ_FRIEND_BIRTHDAYS: 0.20,
+}
+
 WRITE_KINDS = {
     OperationKind.POST_STATUS,
     OperationKind.ADD_FRIEND,

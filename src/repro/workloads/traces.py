@@ -185,6 +185,51 @@ class HalloweenSpikeTrace(LoadTrace):
 
 
 @dataclass
+class FlashCrowdTrace(LoadTrace):
+    """A diurnal cycle with a flash crowd erupting on top of it.
+
+    The validation grid's hardest mixed shape: ordinary day/night traffic
+    (deep troughs the controller should scale down into) interrupted by a
+    sudden crowd — a news link, a celebrity post — that rises in minutes,
+    holds, and decays.  Expressed as one registered trace kind (rather than a
+    nested composite) so scenario specs stay flat, human-readable data.
+    """
+
+    base_rate: float
+    peak_rate: float
+    period_hours: float = 24.0
+    peak_hour: float = 20.0
+    crowd_start: float = 12 * 3600.0
+    crowd_multiplier: float = 4.0
+    rise_duration: float = 300.0
+    hold_duration: float = 1800.0
+    decay_duration: float = 1800.0
+
+    def __post_init__(self) -> None:
+        self._diurnal = DiurnalTrace(
+            base_rate=self.base_rate, peak_rate=self.peak_rate,
+            peak_hour=self.peak_hour, period_hours=self.period_hours,
+        )
+        # The crowd multiplies the diurnal baseline at its start instant, so
+        # the spike's absolute height tracks whatever the cycle was doing.
+        crowd_base = self._diurnal.rate_at(self.crowd_start)
+        self._crowd = HalloweenSpikeTrace(
+            base_rate=crowd_base,
+            spike_multiplier=self.crowd_multiplier,
+            spike_start=self.crowd_start,
+            rise_duration=self.rise_duration,
+            hold_duration=self.hold_duration,
+            decay_duration=self.decay_duration,
+        )
+
+    def rate_at(self, time: float) -> float:
+        # The crowd trace contributes only its excess over its own baseline;
+        # the diurnal curve supplies the ambient rate throughout.
+        excess = self._crowd.rate_at(time) - self._crowd.base_rate
+        return self._diurnal.rate_at(time) + excess
+
+
+@dataclass
 class CompositeTrace(LoadTrace):
     """The sum of several traces (e.g. diurnal baseline + event spike)."""
 

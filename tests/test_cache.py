@@ -138,10 +138,12 @@ class TestPolicy:
 
 
 class TestEngineIntegration:
-    def test_cache_defaults_off(self):
+    def test_cache_defaults_on_and_false_opts_out(self):
         engine = Scads(seed=0, autoscale=False)
-        assert engine.cache is None
-        assert engine.cache_hit_counts() == (0, 0)
+        assert engine.cache is not None
+        opted_out = Scads(seed=0, autoscale=False, cache=False)
+        assert opted_out.cache is None
+        assert opted_out.cache_hit_counts() == (0, 0)
 
     def test_repeated_get_hits_cache_and_is_much_faster(self):
         engine = make_engine()
@@ -503,7 +505,7 @@ class TestMissPathLatencyLabel:
         """Without a cache the miss-path tracker stays empty (nothing can
         blend, and nothing may grow unboundedly when no monitor drains it);
         training uses the tracker report exactly as before the PR."""
-        engine = Scads(seed=0, autoscale=False, initial_groups=2)
+        engine = Scads(seed=0, autoscale=False, initial_groups=2, cache=False)
         engine.register_entity(EntitySchema(
             "profiles", key_fields=[Field("user_id")],
             value_fields=[Field("bio")]))

@@ -11,14 +11,13 @@ from repro.core.consistency.spec import (
     Axis,
     ConsistencySpec,
     DurabilitySLA,
-    PerformanceSLA,
     ReadConsistency,
     SessionGuarantee,
     WriteConsistency,
     WritePolicy,
 )
 from repro.core.query.analyzer import QueryRejected
-from repro.core.schema import EntitySchema, Field, FieldType
+from repro.core.schema import EntitySchema, Field
 from repro.storage.failure import FailureInjector
 
 pytestmark = pytest.mark.tier1

@@ -7,7 +7,6 @@ of the storage substrate; the engine-level integration tests cover the wiring.
 
 from __future__ import annotations
 
-import bisect
 from typing import Any, Dict, List, Optional, Tuple
 
 import pytest
@@ -18,7 +17,7 @@ from repro.core.query.analyzer import QueryAnalyzer
 from repro.core.query.compiler import QueryCompiler
 from repro.core.query.executor import QueryExecutor
 from repro.core.query.parser import parse_query
-from repro.core.schema import EntitySchema, Field, FieldType, SchemaRegistry
+from repro.core.schema import EntitySchema, Field, SchemaRegistry
 from repro.sim.simulator import Simulator
 
 pytestmark = pytest.mark.tier1

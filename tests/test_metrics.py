@@ -2,14 +2,13 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.metrics.cost import CostReport
 from repro.metrics.percentiles import LatencyRecorder, PercentileEstimator
-from repro.metrics.sla import SLATracker
+from repro.metrics.sla import SLATracker, WindowedComplianceTracker
 from repro.metrics.timeseries import TimeSeries, TimeSeriesRecorder
 
 pytestmark = pytest.mark.tier1
@@ -371,3 +370,44 @@ class TestMergeableMetrics:
         # (2*10 + 6*30) / 40 = 5.0 — machine-hour-weighted.
         assert merged.mean_instances == pytest.approx(5.0)
         assert merged.cost_per_request() == pytest.approx(0.01)
+
+
+class TestWindowedComplianceTracker:
+    """The always-on per-window counters the grid's SLA policy gates on."""
+
+    def test_buckets_by_fixed_clock_windows(self):
+        tracker = WindowedComplianceTracker(60.0, target_latency=0.1)
+        tracker.observe(10.0, 0.05)
+        tracker.observe(59.9, 0.05)
+        tracker.observe(70.0, 0.05)
+        windows = tracker.windows()
+        assert [w.start for w in windows] == [0.0, 60.0]
+        assert [w.total for w in windows] == [2, 1]
+
+    def test_empty_windows_are_absent(self):
+        tracker = WindowedComplianceTracker(60.0, target_latency=0.1)
+        tracker.observe(5.0, 0.05)
+        tracker.observe(605.0, 0.05)
+        assert [w.start for w in tracker.windows()] == [0.0, 600.0]
+
+    def test_failed_request_counts_total_but_not_within(self):
+        tracker = WindowedComplianceTracker(60.0, target_latency=0.1)
+        tracker.observe(1.0, 0.05)
+        tracker.observe(2.0, None)
+        tracker.observe(3.0, 0.5)
+        (window,) = tracker.windows()
+        assert window.total == 3
+        assert window.within == 1
+        assert window.fraction_within == pytest.approx(1 / 3)
+
+    def test_compliant_matches_declared_percentile(self):
+        tracker = WindowedComplianceTracker(60.0, target_latency=0.1)
+        for i in range(100):
+            tracker.observe(1.0, 0.05 if i < 99 else 0.5)
+        (window,) = tracker.windows()
+        assert window.compliant(99.0)
+        assert not window.compliant(99.5)
+
+    def test_rejects_nonpositive_window(self):
+        with pytest.raises(ValueError):
+            WindowedComplianceTracker(0.0, target_latency=0.1)

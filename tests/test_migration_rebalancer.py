@@ -651,7 +651,8 @@ class TestTrackerFedMonitorFeature:
         assert observation.features.mean_utilisation == pytest.approx(expected, rel=0.05)
 
     def test_without_rebalancer_the_ewma_mean_is_kept(self):
-        engine = Scads(seed=2, autoscale=False, initial_groups=2)
+        engine = Scads(seed=2, autoscale=False, initial_groups=2,
+                       repartition=False)
         engine.register_entity(EntitySchema(
             "profiles", key_fields=[Field("user_id")], value_fields=[Field("bio")],
         ))

@@ -4,8 +4,6 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.ml.ensemble import EnsembleModel
 from repro.ml.features import FeatureExtractor, WorkloadFeatures

@@ -4,10 +4,10 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.consistency.spec import Axis, ConsistencySpec, PerformanceSLA, ReadConsistency
+from repro.core.consistency.spec import ConsistencySpec, PerformanceSLA
 from repro.core.provisioning.planner import CapacityPlanner
 from repro.ml.performance_model import LatencyPercentileModel, PropagationLagModel
-from repro.workloads.traces import AnimotoViralTrace, ConstantTrace, DiurnalTrace
+from repro.workloads.traces import AnimotoViralTrace, ConstantTrace
 
 pytestmark = pytest.mark.tier1
 
@@ -119,3 +119,50 @@ class TestClosedLoopAutoscaling:
         engine = result.engine
         assert engine.cost_so_far() > 0.0
         assert engine.pool.active_count() == engine.cluster.node_count()
+
+
+class TestScaleDownGuard:
+    """Never shrink the fleet while the current window violates its SLA.
+
+    A saturated window corrupts the service-time features the planner sizes
+    from, so a low target during a violation is a model artifact — acting on
+    it removes capacity exactly when it is most needed (seen live as a 4->3
+    scale-down at the foot of a ramp the fleet was already missing).
+    """
+
+    def _controller(self, groups=4):
+        from repro.core.engine import Scads
+
+        return Scads(seed=3, autoscale=True, initial_groups=groups,
+                     cache=False, repartition=False).controller
+
+    @staticmethod
+    def _plan(target_nodes):
+        from types import SimpleNamespace
+
+        return SimpleNamespace(target_nodes=target_nodes, forecast_rate=10.0,
+                               reason="unit", repartition_candidate=False)
+
+    @staticmethod
+    def _observation(violated):
+        from types import SimpleNamespace
+
+        return SimpleNamespace(any_sla_violated=lambda: violated)
+
+    def test_holds_and_resets_patience_while_violated(self):
+        controller = self._controller(groups=4)
+        controller._low_demand_windows = controller.scale_down_patience
+        action = controller._act(self._plan(target_nodes=2),
+                                 self._observation(violated=True))
+        assert action.kind == "hold"
+        assert controller._cluster.group_count() == 4
+        # The violated window does not count toward scale-down patience.
+        assert controller._low_demand_windows == 0
+
+    def test_scales_down_once_compliant_again(self):
+        controller = self._controller(groups=4)
+        controller._low_demand_windows = controller.scale_down_patience - 1
+        action = controller._act(self._plan(target_nodes=2),
+                                 self._observation(violated=False))
+        assert action.kind == "scale_down"
+        assert controller._cluster.group_count() == 3

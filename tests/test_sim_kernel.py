@@ -8,7 +8,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.sim.clock import ClockError, VirtualClock
-from repro.sim.events import Event, EventQueue
+from repro.sim.events import EventQueue
 from repro.sim.latency import (
     ConstantLatency,
     EmpiricalLatency,
