@@ -27,14 +27,18 @@
 #                      economics, fig4 consistency axes, E11 planner/forecast
 #                      ablations) in smoke mode — the quick check that the
 #                      planner backends still close the loop
+#   make bench-spot  - E15 mixed-fleet economics at full length: spot surge
+#                      + interruption storm vs all on-demand (the smoke tier
+#                      of the same scenario already rides in grid-smoke)
 #   make trace-demo  - end-to-end request tracing demo: slowest traces with
 #                      per-span attribution, per-window p99 breakdown, and
 #                      the provisioning decision timeline (see repro.obs)
 
 PYTEST := python -m pytest
 
-.PHONY: test test-all property bench bench-smoke bench-provisioning perf \
-	sweep sweep-smoke grid grid-smoke lint perf-check ci trace-demo
+.PHONY: test test-all property bench bench-smoke bench-provisioning \
+	bench-spot perf sweep sweep-smoke grid grid-smoke lint perf-check ci \
+	trace-demo
 
 test:
 	$(PYTEST) -x -q
@@ -57,6 +61,9 @@ bench-provisioning:
 	BENCH_SMOKE=1 $(PYTEST) benchmarks/bench_e6_scale_down_cost.py \
 		benchmarks/bench_fig4_consistency_axes.py \
 		benchmarks/bench_e11_ml_ablation.py -q -s
+
+bench-spot:
+	$(PYTEST) benchmarks/bench_e15_spot_fleet.py -q -s
 
 perf:
 	BENCH_PERF_RECORD=1 $(PYTEST) benchmarks/bench_perf_throughput.py -q -s

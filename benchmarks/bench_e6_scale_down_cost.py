@@ -5,11 +5,28 @@ during non-peak times is a waste of money"; scaling is defined as keeping
 cost per user roughly constant.  This benchmark runs two compressed diurnal
 cycles and compares dollars and cost per million requests for the autoscaled
 system against a static cluster provisioned for the peak.
+
+Both arms rent a per-minute-billed instance (``billing_increment=60``): under
+ceil-hour billing a compressed 1.4 h "day" bills every lease the same 1-2
+started hours whether it ran 10 minutes or the full cycle, which erases the
+very trough savings the experiment measures.  Per-minute increments make the
+bill track the fleet-size integral, exactly the paper's utility-computing
+premise.
+
+The static arm holds the fleet the capacity planner itself demands at peak
+(the autoscaled run's observed ``peak_nodes``), not a hand-derived
+``peak_rate / capacity`` seat count.  "Provisioning for peak" means asking
+your own sizing model what the peak needs and keeping that fleet all day;
+sizing the static arm with a *different, more aggressive* model would credit
+the delta to elasticity when it is really a disagreement between two
+planners.  The comparison therefore isolates the one variable the experiment
+is about: the same planner's fleet, held flat vs scaled with demand.
 """
 
 from __future__ import annotations
 
 import math
+from dataclasses import replace
 
 from repro.experiments.harness import (
     SCALED_DOWN_INSTANCE,
@@ -20,21 +37,26 @@ from repro.experiments.harness import (
 from repro.workloads.traces import DiurnalTrace
 
 _SCALE = smoke_scaled(1.0, 0.05)  # BENCH_SMOKE compresses the whole timeline
-TRACE = DiurnalTrace(base_rate=6.0, peak_rate=80.0, peak_hour=0.35 * _SCALE,
+TRACE = DiurnalTrace(base_rate=6.0, peak_rate=240.0, peak_hour=0.35 * _SCALE,
                      period_hours=0.7 * _SCALE)
 DURATION = 2 * 0.7 * _SCALE * 3600.0  # two compressed "days"
+
+PER_MINUTE_INSTANCE = replace(
+    SCALED_DOWN_INSTANCE, name=f"{SCALED_DOWN_INSTANCE.name}.minutely",
+    billing_increment=60.0)
 
 
 def run_experiment():
     autoscaled = run_closed_loop(TRACE, DURATION, seed=19, n_users=120,
                                  autoscale=True, initial_groups=1,
-                                 control_interval=30.0)
-    # Static baseline provisioned for the peak: groups sized so peak load fits.
-    peak_nodes = math.ceil(TRACE.peak_rate_over(DURATION)
-                           / (SCALED_DOWN_INSTANCE.capacity_ops_per_sec * 0.6))
-    peak_groups = max(math.ceil(peak_nodes / 3), 1)
+                                 control_interval=30.0,
+                                 instance_type=PER_MINUTE_INSTANCE)
+    # Static baseline provisioned for the peak: hold the fleet the planner
+    # itself reached at the top of the cycle (see module docstring).
+    peak_groups = max(math.ceil(autoscaled.peak_nodes / 3), 1)
     static_peak = run_closed_loop(TRACE, DURATION, seed=19, n_users=120,
-                                  autoscale=False, initial_groups=peak_groups)
+                                  autoscale=False, initial_groups=peak_groups,
+                                  instance_type=PER_MINUTE_INSTANCE)
     return autoscaled, static_peak
 
 

@@ -3,19 +3,42 @@
 The paper's scaling argument is economic ("keeping idle servers active during
 non-peak times is a waste of money") and operational (instances take minutes
 to boot, so the provisioner must anticipate load).  This package models both:
-instance types with hourly prices and boot delays, an elastic pool, and a
-billing meter that charges by the (partial) machine hour.
+instance types with hourly prices and boot delays, an elastic pool, a billing
+meter that charges by the started increment, and a spot market with
+interruptible (hibernate/resume) instances billed per minute at market rate.
 """
 
-from repro.cloud.instances import Instance, InstanceState, InstanceType, INSTANCE_TYPES
-from repro.cloud.pool import InstancePool
+from repro.cloud.instances import (
+    INSTANCE_TYPES,
+    ON_DEMAND,
+    PURCHASE_OPTIONS,
+    SPOT,
+    Instance,
+    InstanceState,
+    InstanceType,
+)
+from repro.cloud.pool import InstancePool, SpotUnavailableError
 from repro.cloud.billing import BillingMeter
+from repro.cloud.market import (
+    NOTICE_SECONDS,
+    SPOT_BILLING_INCREMENT,
+    InterruptionNotice,
+    SpotMarket,
+)
 
 __all__ = [
     "Instance",
     "InstanceState",
     "InstanceType",
     "INSTANCE_TYPES",
+    "ON_DEMAND",
+    "SPOT",
+    "PURCHASE_OPTIONS",
     "InstancePool",
+    "SpotUnavailableError",
     "BillingMeter",
+    "SpotMarket",
+    "InterruptionNotice",
+    "NOTICE_SECONDS",
+    "SPOT_BILLING_INCREMENT",
 ]

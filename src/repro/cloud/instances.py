@@ -18,7 +18,15 @@ class InstanceState(enum.Enum):
 
     BOOTING = "booting"
     RUNNING = "running"
+    HIBERNATED = "hibernated"
     TERMINATED = "terminated"
+
+
+# Purchase options for a launch: reliable on-demand capacity, or spot
+# capacity that is cheaper but revocable with a two-minute notice.
+ON_DEMAND = "on_demand"
+SPOT = "spot"
+PURCHASE_OPTIONS = (ON_DEMAND, SPOT)
 
 
 @dataclass(frozen=True)
@@ -32,12 +40,17 @@ class InstanceType:
         capacity_ops_per_sec: sustainable storage-request rate when used as a
             storage node; this is how the capacity planner converts "ops/sec
             needed" into "instances needed".
+        billing_increment: billing granularity in seconds.  On-demand rentals
+            keep EC2's classic per-started-hour charging (3600 s); spot
+            leases bill per started minute (see
+            :data:`repro.cloud.market.SPOT_BILLING_INCREMENT`).
     """
 
     name: str
     hourly_cost: float
     boot_delay: float
     capacity_ops_per_sec: float
+    billing_increment: float = 3600.0
 
     def __post_init__(self) -> None:
         if self.hourly_cost < 0:
@@ -46,6 +59,8 @@ class InstanceType:
             raise ValueError("boot delay must be non-negative")
         if self.capacity_ops_per_sec <= 0:
             raise ValueError("capacity must be positive")
+        if self.billing_increment <= 0:
+            raise ValueError("billing increment must be positive")
 
 
 INSTANCE_TYPES: Dict[str, InstanceType] = {
@@ -63,14 +78,21 @@ INSTANCE_TYPES: Dict[str, InstanceType] = {
 
 @dataclass
 class Instance:
-    """One rented machine."""
+    """One rented machine.
+
+    Billing lives entirely on the instance's :class:`~repro.cloud.billing.Lease`
+    (the pool opens one per rental period, so a hibernate/resume cycle is two
+    leases); the instance itself only tracks lifecycle state.
+    """
 
     instance_id: str
     instance_type: InstanceType
     launch_time: float
+    purchase_option: str = ON_DEMAND
     state: InstanceState = InstanceState.BOOTING
     ready_time: Optional[float] = None
     termination_time: Optional[float] = None
+    hibernate_time: Optional[float] = None
 
     def mark_running(self, now: float) -> None:
         """Transition from BOOTING to RUNNING (idempotent once terminated-checked)."""
@@ -79,20 +101,27 @@ class Instance:
         self.state = InstanceState.RUNNING
         self.ready_time = now
 
+    def hibernate(self, now: float) -> None:
+        """Freeze a running instance: state preserved, billing stopped."""
+        if self.state is not InstanceState.RUNNING:
+            raise ValueError(
+                f"instance {self.instance_id} cannot hibernate from {self.state.value}")
+        self.state = InstanceState.HIBERNATED
+        self.hibernate_time = now
+
+    def begin_resume(self) -> None:
+        """Start waking a hibernated instance (a short boot follows)."""
+        if self.state is not InstanceState.HIBERNATED:
+            raise ValueError(
+                f"instance {self.instance_id} cannot resume from {self.state.value}")
+        self.state = InstanceState.BOOTING
+
     def terminate(self, now: float) -> None:
-        """Stop the instance; billing stops at the end of the current hour."""
+        """Stop the instance; billing stops at the end of the started increment."""
         if self.state is InstanceState.TERMINATED:
             return
         self.state = InstanceState.TERMINATED
         self.termination_time = now
-
-    def billable_hours(self, now: float) -> float:
-        """Machine-hours to bill so far, rounded up to whole started hours."""
-        end = self.termination_time if self.termination_time is not None else now
-        elapsed = max(end - self.launch_time, 0.0)
-        import math
-
-        return float(math.ceil(elapsed / 3600.0)) if elapsed > 0 else 0.0
 
     def is_usable(self) -> bool:
         """True when the instance can serve traffic."""

@@ -69,6 +69,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.cache.tier import CacheConfig, CacheTier
 from repro.cloud.instances import INSTANCE_TYPES, InstanceType
+from repro.cloud.market import SpotMarket
 from repro.cloud.pool import InstancePool
 from repro.core.consistency.arbitration import Arbitrator
 from repro.core.consistency.sessions import Session, SessionManager
@@ -84,6 +85,7 @@ from repro.core.provisioning.analytic import AnalyticSizingModel
 from repro.core.provisioning.controller import ProvisioningController
 from repro.core.provisioning.monitor import SLAMonitor
 from repro.core.provisioning.planner import CapacityPlanner
+from repro.core.provisioning.spotfleet import SpotFleetManager
 from repro.core.query.analyzer import QueryAnalyzer
 from repro.core.query.compiler import QueryCompiler
 from repro.core.query.executor import QueryExecutor, QueryResult
@@ -239,6 +241,19 @@ class Scads:
             produces byte-identical operation results to a telemetry-off
             run with the same seed.  Defaults to off, where the remaining
             cost is one attribute check per operation.
+        spot: attach a :class:`~repro.cloud.market.SpotMarket` and a
+            :class:`~repro.core.provisioning.spotfleet.SpotFleetManager`:
+            the controller covers read-dominated capacity deficits with
+            surge read replicas bought spot-first (on-demand fallback when
+            the market refuses), and interruption notices trigger the
+            graceful drain/hibernate/resume machinery.  The market's price
+            trace lives on its own RNG stream, so ``spot=False`` runs are
+            byte-identical to builds that predate the market.  Default off.
+        write_audit: track every acknowledged write's promised version and
+            expose :meth:`lost_write_count` (the zero-data-loss check the
+            interruption-storm grid scenario gates on).  ``None`` resolves
+            to the ``spot`` flag; the audit dict grows with the distinct
+            key count, hence opt-in for plain runs.
     """
 
     # Samples kept in the cluster-served-read window when nothing drains it
@@ -270,6 +285,8 @@ class Scads:
         planner_backend: str = "hybrid",
         planner_clamp_band: float = 0.3,
         telemetry: Union[None, bool, TelemetryConfig] = None,
+        spot: bool = False,
+        write_audit: Optional[bool] = None,
     ) -> None:
         self.spec = consistency or ConsistencySpec()
         self.sim = Simulator(seed=seed)
@@ -328,6 +345,17 @@ class Scads:
             self._tel_replication_lag = self.telemetry.histogram("replication.lag")
         self.pool = InstancePool(self.sim, instance_type=instance_type,
                                  max_instances=max_instances)
+        self.market: Optional[SpotMarket] = None
+        self.spot_fleet: Optional[SpotFleetManager] = None
+        if spot:
+            self.market = SpotMarket(self.sim)
+            self.pool.attach_market(self.market)
+            self.spot_fleet = SpotFleetManager(
+                self.sim, self.cluster, self.pool, timeline=self.timeline)
+        # Acknowledged-write audit: (namespace, key) -> the promised version.
+        self._write_audit: Optional[Dict[Tuple[str, Any], Any]] = (
+            {} if (spot if write_audit is None else write_audit) else None
+        )
         self.registry = SchemaRegistry()
         self.analyzer = QueryAnalyzer(self.registry, max_read_work=max_read_work,
                                       max_update_work=max_update_work)
@@ -441,6 +469,7 @@ class Scads:
             predictive=predictive_scaling,
             rebalancer=self.rebalancer,
             timeline=self.timeline,
+            spot_fleet=self.spot_fleet,
         )
         self._started = False
 
@@ -564,6 +593,8 @@ class Scads:
             EntityWrite(entity=entity, old_row=old_row, new_row=resolved),
             staleness_bound=self.spec.read.staleness_bound,
         )
+        if self._write_audit is not None and result.value is not None:
+            self._write_audit[(namespace, key)] = result.value
         if session_id is not None and result.value is not None:
             self.sessions.open(session_id).note_write(namespace, key, result.value)
         return OperationOutcome(success=True, latency=result.latency, row=resolved)
@@ -584,6 +615,8 @@ class Scads:
             return OperationOutcome(success=False, latency=result.latency, error=result.error)
         if self.cache is not None:
             self.cache.note_entity_write(namespace, key)
+        if self._write_audit is not None and result.value is not None:
+            self._write_audit[(namespace, key)] = result.value
         if old_row is not None:
             self.updater.enqueue(
                 EntityWrite(entity=entity, old_row=old_row, new_row=None),
@@ -1012,6 +1045,39 @@ class Scads:
     def stale_read_count(self) -> int:
         """Reads served stale under arbitration (bound unverifiable)."""
         return self._stale_served
+
+    def lost_write_count(self) -> Optional[int]:
+        """Acknowledged writes no alive owner still holds (None = audit off).
+
+        The audit records the version each acknowledged write promised the
+        client; this sweep asks the owning group whether any alive member
+        still holds a version at least that new in last-writer-wins order
+        (a later acknowledged overwrite counts — the audit itself advanced).
+        The interruption-storm grid scenario gates on this staying 0: a
+        drain or hibernation must never take the only copy of an
+        acknowledged write with it.
+        """
+        if self._write_audit is None:
+            return None
+        lost = 0
+        for (namespace, key), acked in self._write_audit.items():
+            group_id = self.cluster.partitioner.group_for_token(str(key[0]))
+            group = self.cluster.groups.get(group_id)
+            held = False
+            if group is not None:
+                for node_id in group.node_ids:
+                    node = self.cluster.nodes.get(node_id)
+                    if node is None or not node.alive:
+                        continue
+                    stored = node.peek(namespace, key, include_tombstones=True)
+                    # wins_over returns True on exact ties, so this accepts
+                    # the promised version itself or anything newer.
+                    if stored is not None and stored.wins_over(acked):
+                        held = True
+                        break
+            if not held:
+                lost += 1
+        return lost
 
     def node_count(self) -> int:
         return self.cluster.node_count()

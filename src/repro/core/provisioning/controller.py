@@ -18,6 +18,12 @@ controller first tries a sub-group split/migrate — which moves only the hot
 keys and rents nothing — and only falls back to launching a group when
 repeated repartitioning has not relieved the pressure.
 
+With a :class:`~repro.core.provisioning.spotfleet.SpotFleetManager`
+attached, a read-dominated capacity deficit is covered by *surge read
+replicas* (spot-first, on-demand fallback) instead of whole on-demand
+groups — durable quorum members are never exposed to revocation — and
+scale-down sheds surge capacity before it touches a replica group.
+
 Scale-down is deliberately conservative (sustained low demand over several
 windows, at most one group per interval, and never while the current window
 is violating its SLA) because removing capacity is cheap to defer and
@@ -49,7 +55,8 @@ class ScalingAction:
     """One scaling or repartitioning decision, for experiment reporting."""
 
     time: float
-    kind: str  # "scale_up", "scale_down", "repartition", "hold"
+    # "scale_up", "scale_down", "surge_up", "surge_down", "repartition", "hold"
+    kind: str
     groups_before: int
     groups_after: int
     target_nodes: int
@@ -79,6 +86,8 @@ class ProvisioningController:
         rebalancer: Optional[Rebalancer] = None,
         max_consecutive_repartitions: int = 2,
         timeline=None,
+        spot_fleet=None,
+        spot_write_fraction_ceiling: float = 0.35,
     ) -> None:
         if control_interval <= 0:
             raise ValueError("control_interval must be positive")
@@ -120,6 +129,12 @@ class ProvisioningController:
         # Optional obs.DecisionTimeline: a structured record of every plan
         # (with its sizing rationale) and every fleet movement.
         self._timeline = timeline
+        # Optional SpotFleetManager: with one attached, a read-dominated
+        # capacity deficit is covered by surge read replicas (spot-first,
+        # on-demand fallback) instead of whole on-demand groups, and
+        # scale-down sheds surge capacity before touching durable groups.
+        self._spot_fleet = spot_fleet
+        self.spot_write_fraction_ceiling = spot_write_fraction_ceiling
         self._adopt_existing_groups()
 
     # -------------------------------------------------------------------- setup
@@ -178,8 +193,23 @@ class ProvisioningController:
             cache_hit_rate=observation.cache_hit_rate,
         )
         action = self._act(plan, observation)
+        if self._spot_fleet is not None:
+            # Housekeeping for the surge fleet: wake hibernated capacity when
+            # nodes are still short after acting, retire it when the deficit
+            # stays zero long enough that the frozen state has gone stale.
+            deficit = plan.target_nodes - self._node_supply()
+            self._spot_fleet.tick(max(deficit, 0))
         self._record(now, observation, plan, action)
         return action
+
+    def _node_supply(self) -> int:
+        """Nodes serving or already paid for and arriving: attached cluster
+        nodes, whole groups still booting, and surge replicas in motion."""
+        supply = (self._cluster.node_count()
+                  + self._pending_groups * self._cluster.replication_factor)
+        if self._spot_fleet is not None:
+            supply += self._spot_fleet.pending_surge()
+        return supply
 
     def _act(self, plan: CapacityPlan, observation: WindowObservation) -> ScalingAction:
         replication = self._cluster.replication_factor
@@ -196,14 +226,54 @@ class ProvisioningController:
                 return action
         if target_groups > effective_current:
             self._consecutive_repartitions = 0
-            to_add = min(target_groups - effective_current, self.max_groups_per_step)
+            surge_added = 0
+            if self._spot_fleet is not None \
+                    and observation.write_fraction <= self.spot_write_fraction_ceiling:
+                deficit = plan.target_nodes - self._node_supply()
+                if deficit <= 0:
+                    # The group-count math over-asks (groups come in
+                    # replication-factor multiples; surge nodes do not):
+                    # per-node supply already covers the target, so renting a
+                    # whole group would overshoot.
+                    self._low_demand_windows = 0
+                    return ScalingAction(
+                        time=now, kind="hold",
+                        groups_before=current_groups,
+                        groups_after=current_groups,
+                        target_nodes=plan.target_nodes,
+                        forecast_rate=plan.forecast_rate,
+                        reason=f"{plan.reason}; surge capacity covers target",
+                    )
+                surge_added = self._spot_fleet.add_surge(deficit)
+            if self._spot_fleet is None:
+                to_add = min(target_groups - effective_current,
+                             self.max_groups_per_step)
+            else:
+                # Surge is read fan-out, capped per group (one primary still
+                # takes every write); whatever deficit the fleet would not
+                # absorb needs whole groups, which split the keyspace and
+                # add primaries.
+                deficit = plan.target_nodes - self._node_supply()
+                if deficit <= 0:
+                    self._low_demand_windows = 0
+                    return ScalingAction(
+                        time=now, kind="surge_up",
+                        groups_before=current_groups,
+                        groups_after=current_groups,
+                        target_nodes=plan.target_nodes,
+                        forecast_rate=plan.forecast_rate,
+                        reason=f"{plan.reason}; +{surge_added} surge read "
+                               "replicas (spot-first)",
+                    )
+                to_add = min(int(math.ceil(deficit / replication)),
+                             self.max_groups_per_step)
             launched = 0
             for _ in range(to_add):
                 if not self._launch_group():
                     break  # pool exhausted; rent what fits and carry on
                 launched += 1
             self._low_demand_windows = 0
-            if launched == 0:
+            if launched == 0 and surge_added == 0:
                 return ScalingAction(
                     time=now, kind="hold",
                     groups_before=current_groups,
@@ -212,33 +282,71 @@ class ProvisioningController:
                     forecast_rate=plan.forecast_rate,
                     reason=f"{plan.reason}; pool at capacity",
                 )
+            if launched == 0:
+                return ScalingAction(
+                    time=now, kind="surge_up",
+                    groups_before=current_groups,
+                    groups_after=current_groups,
+                    target_nodes=plan.target_nodes,
+                    forecast_rate=plan.forecast_rate,
+                    reason=f"{plan.reason}; +{surge_added} surge read "
+                           "replicas (spot-first); pool capped for groups",
+                )
+            reason = plan.reason
+            if surge_added:
+                reason = (f"{plan.reason}; +{surge_added} surge read replicas "
+                          "(spot-first) alongside group growth")
             return ScalingAction(
                 time=now, kind="scale_up",
                 groups_before=current_groups,
                 groups_after=current_groups + self._pending_groups,
                 target_nodes=plan.target_nodes,
                 forecast_rate=plan.forecast_rate,
-                reason=plan.reason,
+                reason=reason,
             )
         self._consecutive_repartitions = 0
-        if target_groups < current_groups and self._pending_groups == 0 \
+        surge_surplus = 0
+        if self._spot_fleet is not None:
+            # Surge replicas do not come in group multiples, so surplus is
+            # measured in nodes: whatever supply exceeds the target, capped
+            # by what the surge fleet actually holds.
+            surge_surplus = min(self._node_supply() - plan.target_nodes,
+                                self._spot_fleet.surge_count())
+            surge_surplus = max(surge_surplus, 0)
+        if (target_groups < current_groups or surge_surplus > 0) \
+                and self._pending_groups == 0 \
                 and not observation.any_sla_violated():
             # A low planner target during a violated window is a model
             # artifact (saturation corrupts the service-time features), not
             # low demand — never shrink a fleet that is missing its SLA.
             self._low_demand_windows += 1
-            if self._low_demand_windows >= self.scale_down_patience and current_groups > 1:
-                removed = self._remove_one_group()
-                if removed:
-                    return ScalingAction(
-                        time=now, kind="scale_down",
-                        groups_before=current_groups,
-                        groups_after=current_groups - 1,
-                        target_nodes=plan.target_nodes,
-                        forecast_rate=plan.forecast_rate,
-                        reason=f"{plan.reason}; sustained low demand "
-                               f"({self._low_demand_windows} windows)",
-                    )
+            if self._low_demand_windows >= self.scale_down_patience:
+                if surge_surplus > 0:
+                    released = self._spot_fleet.release_surge(surge_surplus)
+                    if released:
+                        windows = self._low_demand_windows
+                        self._low_demand_windows = 0
+                        return ScalingAction(
+                            time=now, kind="surge_down",
+                            groups_before=current_groups,
+                            groups_after=current_groups,
+                            target_nodes=plan.target_nodes,
+                            forecast_rate=plan.forecast_rate,
+                            reason=f"{plan.reason}; released {released} surge "
+                                   f"replicas after {windows} low windows",
+                        )
+                if target_groups < current_groups and current_groups > 1:
+                    removed = self._remove_one_group()
+                    if removed:
+                        return ScalingAction(
+                            time=now, kind="scale_down",
+                            groups_before=current_groups,
+                            groups_after=current_groups - 1,
+                            target_nodes=plan.target_nodes,
+                            forecast_rate=plan.forecast_rate,
+                            reason=f"{plan.reason}; sustained low demand "
+                                   f"({self._low_demand_windows} windows)",
+                        )
         else:
             self._low_demand_windows = 0
         if self._rebalancer is not None:
@@ -430,6 +538,12 @@ class ProvisioningController:
 
     def scale_down_count(self) -> int:
         return sum(1 for a in self._actions if a.kind == "scale_down")
+
+    def surge_up_count(self) -> int:
+        return sum(1 for a in self._actions if a.kind == "surge_up")
+
+    def surge_down_count(self) -> int:
+        return sum(1 for a in self._actions if a.kind == "surge_down")
 
     def repartition_count(self) -> int:
         return sum(1 for a in self._actions if a.kind == "repartition")

@@ -134,6 +134,15 @@ class ClosedLoopSummary:
     telemetry: Optional[object] = None  # obs.Telemetry
     traces: Optional[list] = None  # List[obs.TraceRecord]
     decision_timeline: Optional[object] = None  # obs.DecisionTimeline
+    # Acknowledged writes no alive owner still held at run end (None when the
+    # engine's write audit was off — see Scads ``write_audit``).  The
+    # interruption-storm grid scenario gates on this staying 0.
+    lost_acked_writes: Optional[int] = None
+    # Dollars split by purchase option ({"on_demand": ..., "spot": ...}).
+    cost_by_purchase_option: Dict[str, float] = field(default_factory=dict)
+    # Interruption drain outcomes ({"hibernated": 3, "aborted": 1, ...});
+    # empty without a spot fleet.
+    interruption_outcomes: Dict[str, int] = field(default_factory=dict)
 
     def summary(self) -> Dict[str, object]:
         return _result_summary(self)
@@ -191,7 +200,20 @@ class ClosedLoopResult:
             telemetry=self.engine.collect_telemetry(),
             traces=self.engine.traces() if self.engine.tracer is not None else None,
             decision_timeline=self.engine.timeline,
+            lost_acked_writes=self.engine.lost_write_count(),
+            cost_by_purchase_option=self.engine.pool.cost_by_purchase_option(),
+            interruption_outcomes=_interruption_outcomes(self.engine),
         )
+
+
+def _interruption_outcomes(engine: Scads) -> Dict[str, int]:
+    """Histogram of drain outcomes across the run's interruption notices."""
+    if engine.spot_fleet is None:
+        return {}
+    outcomes: Dict[str, int] = {}
+    for record in engine.spot_fleet.records():
+        outcomes[record.outcome] = outcomes.get(record.outcome, 0) + 1
+    return outcomes
 
 
 def default_spec(
@@ -292,9 +314,14 @@ def install_fault_plan(engine: Scads, plan: Sequence,
     * ``zone_outage`` — the ``zone_index``-th member of every replica group
       crashes simultaneously and recovers after ``duration`` (regional
       failover: read capacity drains, replicas fail over, primaries live);
-    * ``crash_random`` — ``count`` random alive nodes crash for ``duration``.
+    * ``crash_random`` — ``count`` random alive nodes crash for ``duration``;
+    * ``interruption_storm`` — correlated spot revocations: every registered
+      spot instance gets its two-minute notice at ``at`` and new spot
+      launches are refused for ``duration`` (needs an engine built with
+      ``spot=True``).
     """
-    injector = FailureInjector(engine.cluster)
+    injector = FailureInjector(engine.cluster,
+                               market=getattr(engine, "market", None))
     offset = engine.now if start_time is None else start_time
     for fault in plan:
         params = dict(getattr(fault, "params", {}) or {})
@@ -305,10 +332,13 @@ def install_fault_plan(engine: Scads, plan: Sequence,
             injector.crash_random_nodes(count=int(params.pop("count", 1)),
                                         at=offset + fault.at,
                                         duration=fault.duration)
+        elif fault.kind == "interruption_storm":
+            injector.interruption_storm(at=offset + fault.at,
+                                        duration=fault.duration)
         else:
             raise ValueError(
                 f"unknown fault kind {fault.kind!r} "
-                "(registered: zone_outage, crash_random)")
+                "(registered: zone_outage, crash_random, interruption_storm)")
     return injector
 
 

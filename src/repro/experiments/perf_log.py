@@ -58,6 +58,18 @@ SECTION_FIELDS: Dict[str, Dict[str, str]] = {
         "traces": "int",
         "results_identical": "bool",
     },
+    # E15's mixed-fleet economics (bench_e15_spot_fleet): dollars for the
+    # spot-surge fleet vs the all-on-demand arm of the same scenario, and
+    # the interruption-handling counters behind the savings.
+    "spot_fleet": {
+        "mixed_dollars": "number",
+        "on_demand_dollars": "number",
+        "spot_dollars": "number",
+        "savings_fraction": "number",
+        "interruptions": "int",
+        "hibernated": "int",
+        "fallbacks": "int",
+    },
 }
 
 ENTRY_KEYS = {"label", "notes", *SECTION_FIELDS}

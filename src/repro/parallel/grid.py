@@ -24,9 +24,13 @@ The verdict gates on, per cell:
 * every expected cell present, with zero failed runs;
 * the consistency contract held: zero arbitration-stale reads and merged
   max replication lag within the scenario's staleness bound — except in
-  fault-injection scenarios, where the outage window legitimately suspends
-  the bound (the paper's consistency/availability tradeoff); there the
-  grid reports staleness but gates only on the SLA re-attainment;
+  crash/outage fault scenarios, where the outage window legitimately
+  suspends the bound (the paper's consistency/availability tradeoff); there
+  the grid reports staleness but gates only on the SLA re-attainment.
+  Spot *interruption storms* keep the gate: revocation comes with notice,
+  so a graceful drain that leaks a stale read is a bug, and cells whose
+  runs audited acknowledged writes additionally gate on **zero lost
+  acknowledged writes**;
 * the scenario's **declared SLA policy** (see
   :class:`~repro.parallel.spec.ScenarioSpec`): at most
   ``sla_violation_budget`` of the run's fixed 60 s compliance windows may
@@ -224,6 +228,15 @@ def _cell_staleness(successes: List[RunSuccess]) -> tuple:
     return stale, lag
 
 
+def _cell_lost_writes(successes: List[RunSuccess]) -> Optional[int]:
+    """Summed acknowledged-write losses, or None when no run audited them."""
+    audited = [record.summary.lost_acked_writes for record in successes
+               if getattr(record.summary, "lost_acked_writes", None) is not None]
+    if not audited:
+        return None
+    return sum(audited)
+
+
 def _policy_sla_check(spec: ScenarioSpec, successes: List[RunSuccess],
                       report: MergedCellReport, op: str) -> tuple:
     """Evaluate one op type's declared windowed SLA policy over a cell.
@@ -310,7 +323,13 @@ def evaluate_grid(result: SweepResult,
 
     cells: List[CellVerdict] = []
     for spec in scenarios:
-        fault_free = not spec.faults
+        # Crash/outage faults legitimately suspend the staleness bound (the
+        # paper's consistency/availability tradeoff).  Interruption storms do
+        # NOT: revocation comes with notice, and a graceful drain that leaks
+        # a stale read or loses an acknowledged write is a bug — so those
+        # scenarios keep the consistency gate.
+        consistency_gated = all(f.kind == "interruption_storm"
+                                for f in spec.faults)
         for config in CONFIG_CELLS:
             cell = f"{spec.name}/{config}"
             report = reports.get(cell)
@@ -336,11 +355,19 @@ def evaluate_grid(result: SweepResult,
                     verdict.write_compliance = compliance
                 if enforce_sla and op in spec.sla_ops:
                     verdict.checks.append(CheckResult(f"{op}-sla", passed, detail))
-            if fault_free:
+            if consistency_gated:
                 verdict.checks.append(CheckResult(
                     "staleness", stale == 0 and lag <= spec.staleness_bound,
                     f"{stale} stale reads, max lag {lag:.1f}s "
                     f"vs {spec.staleness_bound:.0f}s bound"))
+            lost = _cell_lost_writes(successes)
+            if lost is not None:
+                # Zero data loss through drains, hibernations, and forced
+                # revocations: every acknowledged write must still be held
+                # by an alive owner at run end (engine write audit).
+                verdict.checks.append(CheckResult(
+                    "lost-writes", lost == 0,
+                    f"{lost} acknowledged writes lost"))
             cells.append(verdict)
 
     cross: List[CheckResult] = []

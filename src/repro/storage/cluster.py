@@ -130,6 +130,10 @@ class Cluster:
         self._migration_seconds_total = 0.0
         self._reconciled_keys_total = 0
         self._load_tracker = None
+        # Hibernated surge replicas: node_id -> (home group id, frozen node).
+        # The node object keeps its data but leaves ``nodes``/its group, so
+        # replication and routing forget it until it resumes.
+        self._hibernated: Dict[str, Tuple[str, StorageNode]] = {}
 
         if partitioner_kind == "hash":
             self.partitioner: Partitioner = ConsistentHashPartitioner()
@@ -191,6 +195,135 @@ class Cluster:
             else:
                 self._rebalance()
         return group
+
+    # ------------------------------------------- surge replicas / spot drain
+
+    def add_surge_replica(self, group_id: str) -> str:
+        """Attach one extra read replica to an existing group.
+
+        Surge replicas add read capacity without touching partition
+        ownership: the new node is seeded with a copy of the primary's
+        current data and then receives ordinary async replication.  They are
+        the unit of *spot* capacity — revocable without shrinking the durable
+        quorum, which stays on the group's original on-demand members.
+        """
+        group = self.groups.get(group_id)
+        if group is None:
+            raise KeyError(f"unknown group {group_id!r}")
+        node_id = self._new_node_id(group_id)
+        node = StorageNode(
+            node_id=node_id,
+            rng=self.sim.random.get(f"node:{node_id}"),
+            capacity_ops_per_sec=self.node_capacity_ops,
+            base_median_latency=self.node_base_latency,
+        )
+        primary = self.nodes.get(group.primary)
+        if primary is not None and primary.alive:
+            for namespace in primary.namespaces():
+                for key, value in primary.scan_namespace(namespace):
+                    node.apply_replica_write(namespace, key, value)
+        self.nodes[node_id] = node
+        # New list object, never in-place append: the router's rotation
+        # cache invalidates on list identity.
+        group.node_ids = group.node_ids + [node_id]
+        return node_id
+
+    def begin_drain(self, node_id: str) -> None:
+        """Start gracefully evacuating a node (spot interruption notice).
+
+        The node stops receiving client reads and new replicated writes
+        immediately; if it is a group primary it is demoted in favour of the
+        first healthy non-draining member so the write path never routes
+        through a machine with a revocation deadline.
+        """
+        node = self.nodes.get(node_id)
+        if node is None:
+            return
+        node.set_draining(True)
+        group = self._owning_group(node_id)
+        if group is None or group.node_ids[0] != node_id or len(group.node_ids) < 2:
+            return
+        alternates = [
+            nid for nid in group.node_ids[1:]
+            if (candidate := self.nodes.get(nid)) is not None
+            and candidate.alive and not candidate.draining
+        ]
+        if not alternates:
+            return  # nobody healthy to promote; keep serving until detach
+        new_primary = alternates[0]
+        group.node_ids = [new_primary] + [nid for nid in group.node_ids
+                                          if nid != new_primary]
+
+    def detach_replica(self, node_id: str) -> Optional[StorageNode]:
+        """Remove one replica from its group and the cluster, returning it.
+
+        Refuses to detach a group's last member (that is group removal, a
+        different operation with data movement).  The returned node object
+        still holds its data — the hibernate path stashes it for resume.
+        """
+        group = self._owning_group(node_id)
+        if group is not None:
+            if len(group.node_ids) < 2:
+                raise ValueError(
+                    f"cannot detach {node_id!r}: it is the last member of "
+                    f"group {group.group_id!r}")
+            group.node_ids = [nid for nid in group.node_ids if nid != node_id]
+        return self.nodes.pop(node_id, None)
+
+    def hibernate_node(self, node_id: str) -> bool:
+        """Detach a replica and freeze it (data intact) for a later resume."""
+        group = self._owning_group(node_id)
+        node = self.detach_replica(node_id)
+        if node is None:
+            return False
+        node.set_draining(False)
+        self._hibernated[node_id] = (group.group_id if group is not None else "", node)
+        return True
+
+    def resume_hibernated(self, node_id: str) -> Optional[int]:
+        """Rejoin a hibernated replica without a cold re-copy.
+
+        The frozen node re-attaches to its home group, hands back any keys it
+        no longer owns via :meth:`reconcile_node`, and catches up on what it
+        missed with a last-write-wins sweep of the primary — all within one
+        simulated instant, so no client read can observe the stale copy.
+        Returns the number of keys refreshed from the primary, or None when
+        the home group no longer exists (caller should retire the instance).
+        """
+        entry = self._hibernated.get(node_id)
+        if entry is None:
+            return None
+        group_id, node = entry
+        group = self.groups.get(group_id)
+        if group is None:
+            return None
+        del self._hibernated[node_id]
+        node.recover()
+        node.set_draining(False)
+        self.nodes[node_id] = node
+        group.node_ids = group.node_ids + [node_id]
+        self.reconcile_node(node_id)
+        refreshed = 0
+        primary = self.nodes.get(group.primary)
+        if primary is not None and primary.alive and primary.node_id != node_id:
+            for namespace in primary.namespaces():
+                for key, value in primary.scan_namespace(namespace):
+                    if node.apply_replica_write(namespace, key, value):
+                        refreshed += 1
+        return refreshed
+
+    def drop_hibernated(self, node_id: str) -> bool:
+        """Forget a hibernated node (its instance was terminated)."""
+        return self._hibernated.pop(node_id, None) is not None
+
+    def hibernated_node_ids(self) -> List[str]:
+        return list(self._hibernated.keys())
+
+    def _owning_group(self, node_id: str) -> Optional[ReplicaGroup]:
+        for group in self.groups.values():
+            if node_id in group.node_ids:
+                return group
+        return None
 
     def group_mean_utilisation(self, group_id: str) -> float:
         """Mean utilisation over one group's alive nodes (0 when none alive)."""

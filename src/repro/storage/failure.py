@@ -26,13 +26,23 @@ class FaultRecord:
 
 
 class FailureInjector:
-    """Schedules faults against a cluster."""
+    """Schedules faults against a cluster.
 
-    def __init__(self, cluster: Cluster) -> None:
+    With a :class:`~repro.cloud.market.SpotMarket` attached,
+    :meth:`interruption_storm` injects correlated spot revocations — the
+    capacity-reclaim analogue of :meth:`zone_outage`.
+    """
+
+    def __init__(self, cluster: Cluster, market=None) -> None:
         self._cluster = cluster
         self._sim = cluster.sim
         self._faults: List[FaultRecord] = []
         self._failure_rng = cluster.sim.random.get("failure-injector")
+        self._market = market
+
+    def attach_market(self, market) -> None:
+        """Enable spot-market faults (:meth:`interruption_storm`)."""
+        self._market = market
 
     # ------------------------------------------------------------------ crashes
 
@@ -63,13 +73,66 @@ class FailureInjector:
             self._sim.schedule_at(at + duration, come_back, name=f"recover:{node_id}")
         return record
 
-    def crash_random_nodes(self, count: int, at: float, duration: float) -> List[FaultRecord]:
-        """Crash ``count`` random alive nodes simultaneously."""
-        alive = [node_id for node_id, node in self._cluster.nodes.items() if node.alive]
-        if count > len(alive):
-            raise ValueError(f"cannot crash {count} nodes, only {len(alive)} alive")
-        chosen = list(self._failure_rng.choice(alive, size=count, replace=False))
-        return [self.crash_node(node_id, at, duration) for node_id in chosen]
+    def crash_random_nodes(self, count: int, at: float, duration: float) -> FaultRecord:
+        """Crash ``count`` random alive nodes simultaneously at time ``at``.
+
+        Victims are chosen when the fault *fires*, not when it is scheduled —
+        matching :meth:`zone_outage`, because a real outage hits whatever is
+        running at that moment: nodes rented between scheduling and firing
+        are eligible, nodes decommissioned in between are not.  When fewer
+        than ``count`` nodes are alive at fire time the fault crashes all of
+        them (an outage cannot kill machines that do not exist).
+        """
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        record = FaultRecord(kind="crash-random", target=f"count={count}",
+                             start=at, end=at + duration)
+        self._faults.append(record)
+        downed: List[str] = []
+
+        def go_down() -> None:
+            alive = sorted(
+                node_id for node_id, node in self._cluster.nodes.items() if node.alive
+            )
+            take = min(count, len(alive))
+            if take == 0:
+                return
+            chosen = [str(x) for x in
+                      self._failure_rng.choice(alive, size=take, replace=False)]
+            for node_id in chosen:
+                node = self._cluster.nodes.get(node_id)
+                if node is not None and node.alive:
+                    node.crash()
+                    downed.append(node_id)
+            record.target = ",".join(sorted(downed))
+
+        def come_back() -> None:
+            for node_id in downed:
+                node = self._cluster.nodes.get(node_id)
+                if node is not None:
+                    node.recover()
+                    self._cluster.reconcile_node(node_id)
+
+        self._sim.schedule_at(at, go_down, name=f"crash-random:{count}")
+        self._sim.schedule_at(at + duration, come_back, name=f"recover-random:{count}")
+        return record
+
+    def interruption_storm(self, at: float, duration: float) -> FaultRecord:
+        """Correlated spot revocations: a forced capacity drought.
+
+        Every registered spot instance receives an interruption notice at
+        ``at`` (two minutes to drain or hibernate), and new spot launches are
+        refused until ``at + duration`` — the fleet layer must fall back to
+        on-demand capacity for the length of the storm.  Requires an
+        attached spot market.
+        """
+        if self._market is None:
+            raise RuntimeError("interruption_storm needs an attached spot market")
+        record = FaultRecord(kind="interruption-storm", target="spot-fleet",
+                             start=at, end=at + duration)
+        self._faults.append(record)
+        self._market.interruption_storm(at, duration)
+        return record
 
     def zone_outage(self, at: float, duration: float,
                     zone_index: int = 1) -> FaultRecord:

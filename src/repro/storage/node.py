@@ -127,12 +127,27 @@ class StorageNode:
         # or a maintenance tick lands many ops at one simulated timestamp).
         self._burst_count = 1
         self._alive = True
+        self._draining = False
 
     # ------------------------------------------------------------------ state
 
     @property
     def alive(self) -> bool:
         return self._alive
+
+    @property
+    def draining(self) -> bool:
+        """True while the node is being gracefully evacuated (spot notice).
+
+        A draining node still serves in-flight work (migration handoff,
+        reconciliation) but the router stops sending it client reads and the
+        replication engine stops targeting it with new writes, so detaching
+        it never loses an acknowledged update.
+        """
+        return self._draining
+
+    def set_draining(self, draining: bool) -> None:
+        self._draining = draining
 
     def crash(self) -> None:
         """Mark the node as failed; subsequent operations raise NodeDownError."""

@@ -132,6 +132,13 @@ class ReplicationEngine:
         name = f"replicate:{namespace}"
         for i in range(1, len(node_ids)):
             replica_id = node_ids[i]
+            replica = self._nodes.get(replica_id)
+            if replica is not None and replica.draining:
+                # Draining replicas accept no new writes: they are about to
+                # detach (spot interruption) and will catch up from the
+                # primary if they ever rejoin, so shipping them updates now
+                # only races the drain deadline.
+                continue
             record = PropagationRecord(
                 namespace=namespace,
                 key=key,
@@ -169,7 +176,13 @@ class ReplicationEngine:
 
         def apply() -> None:
             node = self._nodes.get(replica_id)
-            if node is None or not node.alive:
+            if node is None:
+                # Replica left the cluster for good (decommission or spot
+                # drain/hibernate detach); ownership moved with it, so the
+                # copy is moot — drop instead of retrying into the void.
+                self._pending -= 1
+                return
+            if not node.alive:
                 self._schedule_retry(primary_id, replica_id, namespace, key, value,
                                      record, delay_override, retries_left)
                 return
@@ -263,7 +276,7 @@ class ReplicationEngine:
             if acks >= write_quorum:
                 break
             node = self._nodes.get(node_id)
-            if node is None or not node.alive:
+            if node is None or not node.alive or node.draining:
                 continue
             try:
                 if node_id == group.primary:

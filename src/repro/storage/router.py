@@ -219,6 +219,9 @@ class Router:
             if node is None or not node.alive:
                 last_error = f"node {node_id} down"
                 continue
+            if node.draining:
+                last_error = f"node {node_id} draining"
+                continue
             try:
                 hop = self._network.delay(CLIENT_ENDPOINT, node_id)
                 value, service = node.get(namespace, key, now)
@@ -275,7 +278,7 @@ class Router:
             served = False
             for node_id in self._read_candidates(group):
                 node = self._nodes.get(node_id)
-                if node is None or not node.alive:
+                if node is None or not node.alive or node.draining:
                     continue
                 try:
                     hop = self._network.delay(CLIENT_ENDPOINT, node_id)
@@ -330,7 +333,7 @@ class Router:
             served = False
             for node_id in candidates:
                 node = self._nodes.get(node_id)
-                if node is None or not node.alive:
+                if node is None or not node.alive or node.draining:
                     continue
                 try:
                     hop = self._network.delay(CLIENT_ENDPOINT, node_id)
@@ -493,7 +496,7 @@ class Router:
                 continue
             for node_id in self._read_candidates(source):
                 node = self._nodes.get(node_id)
-                if node is None or not node.alive:
+                if node is None or not node.alive or node.draining:
                     continue
                 try:
                     hop = self._network.delay(CLIENT_ENDPOINT, node_id)
@@ -562,7 +565,7 @@ class Router:
             if len(responses) >= read_quorum:
                 break
             node = self._nodes.get(node_id)
-            if node is None or not node.alive:
+            if node is None or not node.alive or node.draining:
                 continue
             try:
                 hop = self._network.delay(CLIENT_ENDPOINT, node_id)

@@ -38,11 +38,26 @@ class TestInstanceLifecycle:
         instance.terminate(300.0)
         assert instance.state is InstanceState.TERMINATED
 
-    def test_billable_hours_round_up(self):
-        instance = Instance("i-1", INSTANCE_TYPES["m1.small"], launch_time=0.0)
-        assert instance.billable_hours(now=1.0) == 1.0
-        assert instance.billable_hours(now=3599.0) == 1.0
-        assert instance.billable_hours(now=3601.0) == 2.0
+    def test_lease_hours_round_up_to_billing_increment(self):
+        # The lease is the single source of billing truth (instances carry
+        # no cost logic): on-demand bills per started hour.
+        meter = BillingMeter()
+        lease = meter.open_lease("i-1", INSTANCE_TYPES["m1.small"], now=0.0)
+        assert lease.machine_hours(now=1.0) == 1.0
+        assert lease.machine_hours(now=3599.0) == 1.0
+        assert lease.machine_hours(now=3601.0) == 2.0
+
+    def test_sub_hour_increment_bills_per_started_minute(self):
+        per_minute = InstanceType(
+            "m1.small.minutely", hourly_cost=0.10, boot_delay=120.0,
+            capacity_ops_per_sec=1000, billing_increment=60.0)
+        meter = BillingMeter()
+        lease = meter.open_lease("i-1", per_minute, now=0.0)
+        assert lease.machine_hours(now=1.0) == pytest.approx(60.0 / 3600.0)
+        assert lease.machine_hours(now=61.0) == pytest.approx(120.0 / 3600.0)
+        meter.close_lease("i-1", now=90.0)
+        # The started increment is still charged after close.
+        assert lease.cost(now=10_000.0) == pytest.approx(0.10 * 120.0 / 3600.0)
 
     def test_terminated_instance_cannot_restart(self):
         instance = Instance("i-1", INSTANCE_TYPES["m1.small"], launch_time=0.0)

@@ -470,11 +470,29 @@ class TestFailureInjector:
         with pytest.raises(KeyError):
             FailureInjector(cluster).crash_node("nope", at=1.0)
 
-    def test_crash_random_nodes_bounded_by_alive(self):
+    def test_crash_random_nodes_clamped_to_alive_at_fire_time(self):
+        # Over-asking is not an error: the fault crashes whatever is alive
+        # when it fires (an outage cannot kill machines that do not exist).
         cluster = make_cluster(groups=1, replication=2)
         injector = FailureInjector(cluster)
-        with pytest.raises(ValueError):
-            injector.crash_random_nodes(10, at=1.0, duration=1.0)
+        injector.crash_random_nodes(10, at=1.0, duration=5.0)
+        cluster.sim.run_until(2.0)
+        assert all(not node.alive for node in cluster.nodes.values())
+        cluster.sim.run_until(10.0)
+        assert all(node.alive for node in cluster.nodes.values())
+
+    def test_crash_random_nodes_picks_victims_at_fire_time(self):
+        # Regression: victims are resolved when the fault *fires*, so a node
+        # rented between scheduling and firing is eligible too.
+        cluster = make_cluster(groups=1, replication=2)
+        injector = FailureInjector(cluster)
+        injector.crash_random_nodes(10, at=5.0, duration=5.0)
+        late_ids = []
+        group_id = next(iter(cluster.groups))
+        cluster.sim.schedule_at(
+            2.0, lambda: late_ids.append(cluster.add_surge_replica(group_id)))
+        cluster.sim.run_until(6.0)
+        assert late_ids and not cluster.nodes[late_ids[0]].alive
 
     def test_partition_groups_blocks_replication(self):
         cluster = make_cluster(groups=2, replication=1)
