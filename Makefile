@@ -30,6 +30,11 @@
 #   make bench-spot  - E15 mixed-fleet economics at full length: spot surge
 #                      + interruption storm vs all on-demand (the smoke tier
 #                      of the same scenario already rides in grid-smoke)
+#   make bench-noisy - E16 noisy-neighbor economics at full length:
+#                      placement-aware diagnosis + host evacuation vs the
+#                      capacity-only ablation that rents unhelpful nodes
+#                      (the smoke tier of the same scenario already rides
+#                      in grid-smoke)
 #   make trace-demo  - end-to-end request tracing demo: slowest traces with
 #                      per-span attribution, per-window p99 breakdown, and
 #                      the provisioning decision timeline (see repro.obs)
@@ -37,8 +42,8 @@
 PYTEST := python -m pytest
 
 .PHONY: test test-all property bench bench-smoke bench-provisioning \
-	bench-spot perf sweep sweep-smoke grid grid-smoke lint perf-check ci \
-	trace-demo
+	bench-spot bench-noisy perf sweep sweep-smoke grid grid-smoke lint \
+	perf-check ci trace-demo
 
 test:
 	$(PYTEST) -x -q
@@ -64,6 +69,9 @@ bench-provisioning:
 
 bench-spot:
 	$(PYTEST) benchmarks/bench_e15_spot_fleet.py -q -s
+
+bench-noisy:
+	$(PYTEST) benchmarks/bench_e16_noisy_neighbor.py -q -s
 
 perf:
 	BENCH_PERF_RECORD=1 $(PYTEST) benchmarks/bench_perf_throughput.py -q -s

@@ -109,6 +109,7 @@ from repro.obs.telemetry import Telemetry, TelemetryConfig, resolve_telemetry_co
 from repro.obs.timeline import DecisionTimeline
 from repro.obs.tracing import Tracer
 from repro.ml.performance_model import LatencyPercentileModel, PropagationLagModel
+from repro.sim.hosts import ContentionProcess, HostMap, resolve_contention_config
 from repro.sim.simulator import Simulator
 from repro.storage.cluster import Cluster
 from repro.storage.durability import DurabilityModel
@@ -254,6 +255,20 @@ class Scads:
             interruption-storm grid scenario gates on).  ``None`` resolves
             to the ``spot`` flag; the audit dict grows with the distinct
             key count, hence opt-in for plain runs.
+        contention: model shared physical hosts and co-tenant interference
+            (:mod:`repro.sim.hosts`).  ``True`` uses
+            :class:`~repro.sim.hosts.ContentionConfig` defaults; a dict
+            (picklable scenario knob) or a config tunes tenancy, episode
+            shape, and the diagnosis thresholds the monitor/controller use
+            to tell contention from capacity shortfall.  Nodes are placed
+            on hosts with replica-group anti-affinity, a deterministic
+            per-host load process (own RNG streams) inflates colocated
+            nodes' *service* times, and the controller live-migrates
+            replicas off hosts diagnosed noisy instead of renting into the
+            violation (``placement_aware=False`` in the config keeps the
+            diagnosis but disables the remediation — the capacity-only
+            ablation).  Default off; off runs are byte-identical to builds
+            that predate the contention layer.
     """
 
     # Samples kept in the cluster-served-read window when nothing drains it
@@ -287,6 +302,7 @@ class Scads:
         telemetry: Union[None, bool, TelemetryConfig] = None,
         spot: bool = False,
         write_audit: Optional[bool] = None,
+        contention=None,
     ) -> None:
         self.spec = consistency or ConsistencySpec()
         self.sim = Simulator(seed=seed)
@@ -297,13 +313,22 @@ class Scads:
                 self.spec.durability.horizon_hours,
             )
         self.replication_factor = replication_factor
+        self.contention_config = resolve_contention_config(contention)
+        self.host_map: Optional[HostMap] = None
+        self.contention: Optional[ContentionProcess] = None
+        if self.contention_config is not None:
+            self.host_map = HostMap(tenancy=self.contention_config.tenancy)
         self.cluster = Cluster(
             simulator=self.sim,
             replication_factor=replication_factor,
             initial_groups=initial_groups,
             node_capacity_ops=instance_type.capacity_ops_per_sec,
             partitioner_kind=partitioner_kind,
+            host_map=self.host_map,
         )
+        if self.contention_config is not None:
+            self.contention = ContentionProcess(
+                self.sim, self.host_map, self.contention_config)
         # Both big subsystems default ON (the validation grid's green verdict
         # is the receipt — see PERFORMANCE.md "Validation grid"); ``False``
         # opts out explicitly, ``None`` means "the shipped default".
@@ -442,6 +467,8 @@ class Scads:
             rate_tracker=self.rebalancer.tracker if self.rebalancer is not None else None,
             sizing_model=self.sizing_model,
             telemetry=self.telemetry,
+            contention_config=self.contention_config,
+            tracer=self.tracer,
         )
         self.planner = CapacityPlanner(
             latency_model=self.latency_model,
@@ -470,6 +497,7 @@ class Scads:
             rebalancer=self.rebalancer,
             timeline=self.timeline,
             spot_fleet=self.spot_fleet,
+            contention_config=self.contention_config,
         )
         self._started = False
 
@@ -485,6 +513,8 @@ class Scads:
         if self._started:
             return
         self.updater.start()
+        if self.contention is not None:
+            self.contention.install(self.cluster)
         if self.autoscale:
             self.controller.start()
         self._started = True

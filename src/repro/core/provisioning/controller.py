@@ -24,6 +24,20 @@ replicas* (spot-first, on-demand fallback) instead of whole on-demand
 groups — durable quorum members are never exposed to revocation — and
 scale-down sheds surge capacity before it touches a replica group.
 
+With the contention layer on (``Scads(contention=...)``), a violated window
+the monitor classifies as *contention* (service-dominated at low
+utilisation, a noisy host named by the per-host residual estimator) takes an
+EVACUATE branch before any capacity logic: renting into contention is the
+capacity-only controller's pathological move — the new nodes serve the same
+inflated service times — so the controller instead live-migrates every
+replica off the noisy host onto quiet hosts (anti-affinity preserved,
+modelling a stop/start re-placement: no extra instances rented, the data
+re-copy charged through the cluster's movement accounting).  Every
+diagnosis and evacuation lands on the decision timeline with its evidence.
+The ``placement_aware=False`` config arm keeps the diagnosis but disables
+the remediation — the capacity-only ablation ``bench_e16`` compares
+against.
+
 Scale-down is deliberately conservative (sustained low demand over several
 windows, at most one group per interval, and never while the current window
 is violating its SLA) because removing capacity is cheap to defer and
@@ -55,7 +69,8 @@ class ScalingAction:
     """One scaling or repartitioning decision, for experiment reporting."""
 
     time: float
-    # "scale_up", "scale_down", "surge_up", "surge_down", "repartition", "hold"
+    # "scale_up", "scale_down", "surge_up", "surge_down", "repartition",
+    # "evacuate", "hold"
     kind: str
     groups_before: int
     groups_after: int
@@ -81,6 +96,7 @@ class ProvisioningController:
         control_interval: float = 60.0,
         provisioning_lead_time: Optional[float] = None,
         scale_down_patience: int = 5,
+        scale_down_hysteresis: float = 0.3,
         max_groups_per_step: int = 50,
         predictive: bool = True,
         rebalancer: Optional[Rebalancer] = None,
@@ -88,11 +104,14 @@ class ProvisioningController:
         timeline=None,
         spot_fleet=None,
         spot_write_fraction_ceiling: float = 0.35,
+        contention_config=None,
     ) -> None:
         if control_interval <= 0:
             raise ValueError("control_interval must be positive")
         if scale_down_patience < 1:
             raise ValueError("scale_down_patience must be >= 1")
+        if scale_down_hysteresis < 0:
+            raise ValueError("scale_down_hysteresis must be >= 0")
         if max_groups_per_step < 1:
             raise ValueError("max_groups_per_step must be >= 1")
         if max_consecutive_repartitions < 1:
@@ -114,6 +133,7 @@ class ProvisioningController:
             else boot_delay + 2.0 * control_interval
         )
         self.scale_down_patience = scale_down_patience
+        self.scale_down_hysteresis = scale_down_hysteresis
         self.max_groups_per_step = max_groups_per_step
         self.predictive = predictive
         self._rebalancer = rebalancer
@@ -135,6 +155,9 @@ class ProvisioningController:
         # scale-down sheds surge capacity before touching durable groups.
         self._spot_fleet = spot_fleet
         self.spot_write_fraction_ceiling = spot_write_fraction_ceiling
+        # Optional repro.sim.hosts.ContentionConfig: arms the evacuation
+        # branch (placement_aware) on contention-classified violations.
+        self._contention_config = contention_config
         self._adopt_existing_groups()
 
     # -------------------------------------------------------------------- setup
@@ -217,6 +240,14 @@ class ProvisioningController:
         current_groups = self._cluster.group_count()
         effective_current = current_groups + self._pending_groups
         now = self._sim.now
+        # A contention-classified violation is a *host* problem: renting into
+        # it is the pathological move (new nodes serve the same inflated
+        # service times), so evacuation preempts every capacity branch.
+        if self._contention_config is not None \
+                and getattr(observation, "contention_suspected", False):
+            action = self._handle_contention(plan, observation, now, current_groups)
+            if action is not None:
+                return action
         # A violated SLA with cluster-wide headroom is a *placement* problem:
         # try a split/migrate first, and rent a single group only when the
         # rebalancer cannot act (e.g. one token hotter than any group).
@@ -313,7 +344,19 @@ class ProvisioningController:
             surge_surplus = min(self._node_supply() - plan.target_nodes,
                                 self._spot_fleet.surge_count())
             surge_surplus = max(surge_surplus, 0)
-        if (target_groups < current_groups or surge_surplus > 0) \
+        # The planner's target is self-referential: its features are measured
+        # on the *current* fleet, so removing a group raises utilisation and
+        # can push the next window's target up by the hybrid backend's whole
+        # ±clamp band (default 30%) with demand unchanged.  Releasing
+        # requires the target to fit the shrunk fleet with that much slack,
+        # or the controller would release and re-rent every few windows —
+        # each flap billing a whole instance-hour per node.
+        shrinkable = (
+            current_groups > 1
+            and plan.target_nodes * (1.0 + self.scale_down_hysteresis)
+            <= (current_groups - 1) * replication
+        )
+        if (shrinkable or surge_surplus > 0) \
                 and self._pending_groups == 0 \
                 and not observation.any_sla_violated():
             # A low planner target during a violated window is a model
@@ -335,7 +378,7 @@ class ProvisioningController:
                             reason=f"{plan.reason}; released {released} surge "
                                    f"replicas after {windows} low windows",
                         )
-                if target_groups < current_groups and current_groups > 1:
+                if shrinkable:
                     removed = self._remove_one_group()
                     if removed:
                         return ScalingAction(
@@ -359,6 +402,69 @@ class ProvisioningController:
             target_nodes=plan.target_nodes,
             forecast_rate=plan.forecast_rate,
             reason=plan.reason,
+        )
+
+    # --------------------------------------------------------------- contention
+
+    def _handle_contention(self, plan: CapacityPlan,
+                           observation: WindowObservation, now: float,
+                           current_groups: int) -> Optional[ScalingAction]:
+        """Remediate a contention-classified violated window.
+
+        Records the diagnosis (with its residual/utilisation evidence, plus
+        the worst-decile span-kind split when tracing is on) on the decision
+        timeline, then — on the placement-aware arm — evacuates every replica
+        off the named noisy host onto quiet hosts and reports an ``evacuate``
+        action instead of letting any rent/scale branch run.  Returns None to
+        fall through to the ordinary capacity logic when remediation is
+        disabled (``placement_aware=False``, the capacity-only ablation) or
+        nothing was movable.
+        """
+        evidence = (
+            f"noisy host {observation.noisy_host or 'unnamed'}: "
+            f"residual {observation.noisy_host_residual:.2f} "
+            f"at mean utilisation {observation.features.mean_utilisation:.2f}"
+        )
+        if observation.span_kind_fractions:
+            top = sorted(observation.span_kind_fractions.items(),
+                         key=lambda item: item[1], reverse=True)[:3]
+            evidence += "; worst-decile spans " + ", ".join(
+                f"{kind} {fraction:.0%}" for kind, fraction in top)
+        if self._timeline is not None:
+            self._timeline.record_event(
+                now, "contention-diagnosis", 0, detail=evidence)
+        if not self._contention_config.placement_aware:
+            return None  # capacity-only ablation: diagnosis only, no action
+        if not observation.noisy_host:
+            return None
+        moves = self._cluster.evacuate_host(observation.noisy_host)
+        if not moves:
+            return None
+        # The evacuated host goes dark (no colocated nodes left to report
+        # residuals), so hold new placements off it for a while — without
+        # the hold, the very next rent would land on the empty
+        # least-occupied host and re-poison the fleet mid-episode.
+        self._cluster.quarantine_host(
+            observation.noisy_host,
+            until=now + self._contention_config.quarantine_seconds)
+        self._low_demand_windows = 0
+        self._consecutive_repartitions = 0
+        if self._timeline is not None:
+            listed = ", ".join(f"{old}->{new}" for old, new in moves[:4])
+            if len(moves) > 4:
+                listed += f", +{len(moves) - 4} more"
+            self._timeline.record_event(
+                now, "host-evacuate", len(moves),
+                detail=f"{observation.noisy_host}: {listed}")
+        return ScalingAction(
+            time=now, kind="evacuate",
+            groups_before=current_groups,
+            groups_after=current_groups,
+            target_nodes=plan.target_nodes,
+            forecast_rate=plan.forecast_rate,
+            reason=f"contention, not capacity — {evidence}; migrated "
+                   f"{len(moves)} replicas off {observation.noisy_host} "
+                   "instead of renting",
         )
 
     # -------------------------------------------------------------- repartition
@@ -547,3 +653,6 @@ class ProvisioningController:
 
     def repartition_count(self) -> int:
         return sum(1 for a in self._actions if a.kind == "repartition")
+
+    def evacuation_count(self) -> int:
+        return sum(1 for a in self._actions if a.kind == "evacuate")

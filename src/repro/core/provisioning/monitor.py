@@ -73,6 +73,18 @@ class WindowObservation:
     # window (None when the provider cannot separate them, or none happened).
     # On blended windows this replaces the poisoned blended label.
     cluster_read_percentile: Optional[float] = None
+    # Contention diagnosis (inert defaults when the contention layer is off).
+    # A violated window is *contention-classified* when the worst host's mean
+    # service residual clears the configured threshold while cluster mean
+    # utilisation sits below the quiet bound — service-dominated latency at
+    # low queueing, the signature renting capacity cannot fix.
+    contention_suspected: bool = False
+    noisy_host: str = ""
+    noisy_host_residual: float = 0.0
+    # Worst-decile span-kind fractions for this window (telemetry-on only;
+    # evidence attached to timeline records, never consulted by decisions —
+    # telemetry-on runs must stay byte-identical to telemetry-off runs).
+    span_kind_fractions: Optional[Dict[str, float]] = None
 
     def any_sla_violated(self) -> bool:
         return any(not report.satisfied for report in self.sla_reports.values())
@@ -97,6 +109,8 @@ class SLAMonitor:
         rate_tracker=None,
         sizing_model=None,
         telemetry=None,
+        contention_config=None,
+        tracer=None,
     ) -> None:
         """``sizing_model`` is an optional
         :class:`~repro.core.provisioning.analytic.AnalyticSizingModel`; when
@@ -128,6 +142,12 @@ class SLAMonitor:
         self._sizing_model = sizing_model
         # Optional obs.Telemetry: per-window counters/gauges/histograms.
         self._telemetry = telemetry
+        # Optional repro.sim.hosts.ContentionConfig: arms the per-host health
+        # estimator and contention-vs-capacity window classification.
+        self._contention_config = contention_config
+        # Optional obs.Tracer: span-kind attribution *evidence* for
+        # contention-classified windows (never part of the decision).
+        self._tracer = tracer
         self._extractor = FeatureExtractor()
         self._last_counts: Dict[str, int] = {}
         self._last_time: Optional[float] = None
@@ -204,6 +224,8 @@ class SLAMonitor:
             cache_hit_rate=cache_hit_rate,
             cluster_read_percentile=cluster_read_percentile,
         )
+        if self._contention_config is not None:
+            self._diagnose(observation)
         self._train(observation)
         self._observations.append(observation)
         telemetry = self._telemetry
@@ -211,12 +233,70 @@ class SLAMonitor:
             telemetry.count("monitor.windows")
             if observation.any_sla_violated():
                 telemetry.count("monitor.violation_windows")
+            if observation.contention_suspected:
+                telemetry.count("monitor.contention_windows")
             telemetry.gauge("monitor.peak_request_rate", request_rate)
             telemetry.gauge("monitor.peak_utilisation", stats.max_utilisation)
             if duration > 0:
                 telemetry.observe("monitor.window_rate", request_rate)
                 telemetry.observe("monitor.window_cache_hit_rate", cache_hit_rate)
         return observation
+
+    def host_residuals(self) -> Dict[str, float]:
+        """Per-host health: mean service residual over alive colocated nodes.
+
+        Built from each node's EWMA of observed base service time relative to
+        its model's analytic mean (:meth:`StorageNode.service_residual`) —
+        an estimator, not the injected ground-truth factor.  Correlated
+        elevation across one host's tenants is the noisy-neighbor signature.
+        """
+        residuals: Dict[str, float] = {}
+        host_map = self._cluster.host_map
+        if host_map is None:
+            return residuals
+        for host in host_map.hosts():
+            values = []
+            for node_id in host_map.nodes_on(host):
+                node = self._cluster.nodes.get(node_id)
+                if node is not None and node.alive:
+                    values.append(node.service_residual())
+            if values:
+                residuals[host] = sum(values) / len(values)
+        return residuals
+
+    def _diagnose(self, observation: WindowObservation) -> None:
+        """Classify a violated window: capacity shortfall vs contention.
+
+        Contention = the worst host's residual clears ``residual_threshold``
+        while mean utilisation is at or below ``quiet_utilisation``:
+        service-dominated latency at low queueing.  Renting nodes cannot fix
+        that — the controller's remediation is to evacuate the named host.
+        When a tracer is attached, the window's worst-decile span-kind split
+        is recorded as *evidence* only; the classification never reads it,
+        so telemetry-on runs stay byte-identical to telemetry-off runs.
+        """
+        cfg = self._contention_config
+        residuals = self.host_residuals()
+        if not residuals:
+            return
+        noisy = max(residuals, key=residuals.get)
+        observation.noisy_host_residual = residuals[noisy]
+        if residuals[noisy] >= cfg.residual_threshold:
+            observation.noisy_host = noisy
+        observation.contention_suspected = (
+            observation.any_sla_violated()
+            and observation.noisy_host != ""
+            and observation.features.mean_utilisation <= cfg.quiet_utilisation
+        )
+        if self._tracer is not None and observation.contention_suspected \
+                and observation.duration > 0:
+            from repro.obs.attribution import attribute_windows
+            start = observation.time - observation.duration
+            in_window = [t for t in self._tracer.traces
+                         if start <= t.start <= observation.time]
+            windows = attribute_windows(in_window, window=observation.duration)
+            if windows:
+                observation.span_kind_fractions = windows[-1].kind_fractions()
 
     def _drain_cluster_read_percentile(self) -> Optional[float]:
         """SLA-percentile latency of this window's cluster-served reads.
@@ -294,6 +374,17 @@ class SLAMonitor:
             if report is None or report.request_count == 0:
                 continue
             if hotspot_window:
+                continue
+            if observation.contention_suspected \
+                    and self._contention_config.placement_aware:
+                # Contention-classified windows have the same label pathology
+                # as hotspot windows: the tail reflects a noisy *host*, not
+                # capacity, and training on it teaches the sizing models that
+                # nodes never help.  The evacuation branch owns this regime.
+                # The capacity-only ablation (placement_aware=False) keeps
+                # training on the poisoned labels on purpose: conflating
+                # contention with capacity — and renting nodes that do not
+                # help — is exactly the pathology it exists to demonstrate.
                 continue
             label = report.observed_percentile_latency
             if blended_window and op_type == "read":

@@ -318,10 +318,15 @@ def install_fault_plan(engine: Scads, plan: Sequence,
     * ``interruption_storm`` — correlated spot revocations: every registered
       spot instance gets its two-minute notice at ``at`` and new spot
       launches are refused for ``duration`` (needs an engine built with
-      ``spot=True``).
+      ``spot=True``);
+    * ``host_degradation`` — a noisy-neighbor episode: co-tenant load on one
+      physical host inflates every colocated node's *service* times by
+      ``intensity`` for ``duration`` (needs an engine built with
+      ``contention=...``).
     """
     injector = FailureInjector(engine.cluster,
-                               market=getattr(engine, "market", None))
+                               market=getattr(engine, "market", None),
+                               contention=getattr(engine, "contention", None))
     offset = engine.now if start_time is None else start_time
     for fault in plan:
         params = dict(getattr(fault, "params", {}) or {})
@@ -335,10 +340,14 @@ def install_fault_plan(engine: Scads, plan: Sequence,
         elif fault.kind == "interruption_storm":
             injector.interruption_storm(at=offset + fault.at,
                                         duration=fault.duration)
+        elif fault.kind == "host_degradation":
+            injector.host_degradation(at=offset + fault.at,
+                                      duration=fault.duration, **params)
         else:
             raise ValueError(
                 f"unknown fault kind {fault.kind!r} "
-                "(registered: zone_outage, crash_random, interruption_storm)")
+                "(registered: zone_outage, crash_random, interruption_storm, "
+                "host_degradation)")
     return injector
 
 

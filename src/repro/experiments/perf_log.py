@@ -70,6 +70,19 @@ SECTION_FIELDS: Dict[str, Dict[str, str]] = {
         "hibernated": "int",
         "fallbacks": "int",
     },
+    # E16's noisy-neighbor economics (bench_e16_noisy_neighbor): SLA
+    # recovery time and dollars for the placement-aware controller vs the
+    # capacity-only ablation on the same contention episode, and the
+    # diagnosis/remediation counters behind the gap.
+    "contention": {
+        "placement_dollars": "number",
+        "capacity_dollars": "number",
+        "placement_recovery_seconds": "number",
+        "capacity_recovery_seconds": "number",
+        "contention_windows": "int",
+        "evacuations": "int",
+        "capacity_scale_ups": "int",
+    },
 }
 
 ENTRY_KEYS = {"label", "notes", *SECTION_FIELDS}

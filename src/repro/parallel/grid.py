@@ -324,12 +324,15 @@ def evaluate_grid(result: SweepResult,
     cells: List[CellVerdict] = []
     for spec in scenarios:
         # Crash/outage faults legitimately suspend the staleness bound (the
-        # paper's consistency/availability tradeoff).  Interruption storms do
-        # NOT: revocation comes with notice, and a graceful drain that leaks
-        # a stale read or loses an acknowledged write is a bug — so those
-        # scenarios keep the consistency gate.
-        consistency_gated = all(f.kind == "interruption_storm"
-                                for f in spec.faults)
+        # paper's consistency/availability tradeoff).  Interruption storms
+        # and host degradation do NOT: revocation comes with notice, and a
+        # noisy neighbor only slows nodes down without killing them — a
+        # graceful drain or an evacuation that leaks a stale read or loses
+        # an acknowledged write is a bug — so those scenarios keep the
+        # consistency gate.
+        consistency_gated = all(
+            f.kind in ("interruption_storm", "host_degradation")
+            for f in spec.faults)
         for config in CONFIG_CELLS:
             cell = f"{spec.name}/{config}"
             report = reports.get(cell)

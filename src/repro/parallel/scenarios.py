@@ -216,6 +216,36 @@ STANDARD_SUITE: List[ScenarioSpec] = [
         predictive_scaling=False,
         initial_groups=4,
     ),
+    ScenarioSpec(
+        # Noisy-neighbor robustness: nodes share physical hosts (tenancy 4),
+        # and mid-run a co-tenant degrades one host — every colocated node
+        # serves 10x-slower *service* times for seven minutes while cluster
+        # utilisation stays low.  Renting capacity cannot fix this (new
+        # nodes neither speed up the sick host nor drain service-side
+        # inflation); the monitor must diagnose contention-not-capacity
+        # from per-host service residuals, and the controller must
+        # live-migrate replicas off the noisy host (anti-affinity
+        # preserved) instead of scaling up.  Degraded nodes never die, so
+        # the staleness/lost-write gates stay enforced at full strength.
+        name="noisy-neighbor-episode",
+        trace=TraceSpec("constant", {"rate": 120.0}),
+        duration=1800.0,
+        n_users=200,
+        predictive_scaling=False,
+        initial_groups=3,
+        # The write audit arms the lost-writes gate: a live migration off
+        # the noisy host must never drop an acknowledged write.
+        engine_knobs={"replication_factor": 3,
+                      "contention": {"tenancy": 4},
+                      "write_audit": True},
+        faults=(FaultSpec(kind="host_degradation", at=600.0, duration=420.0,
+                          params={"host_id": "host-0", "intensity": 10.0}),),
+        # The episode violates until diagnosis fires and the evacuation's
+        # re-copies settle; the budget bounds that transient and the
+        # re-attainment gate requires the SLA back before run end.
+        sla_violation_budget=0.25,
+        sla_write_violation_budget=0.30,
+    ),
 ]
 
 
@@ -287,6 +317,19 @@ _SMOKE_OVERRIDES: Dict[str, Dict[str, Any]] = {
                                 "faults": (FaultSpec(kind="interruption_storm",
                                                      at=22.0, duration=14.0),)},
     "cache-hostile-uniform": {"duration": 24.0, "trace.rate": 40.0},
+    # The episode lands after the first control window and clears before the
+    # run ends, so CI exercises injection, per-host residual tracking, and
+    # the contention-vs-capacity classification on every push.  A completed
+    # diagnose-evacuate-recover cycle needs violated windows plus EWMA
+    # settling time, which a seconds-long run cannot hold — that is the full
+    # scenario's job.  The gentle intensity keeps the inflated service tail
+    # inside the interactive bound (smoke enforces the SLA on all four
+    # config cells), and the staleness gate is enforced at full strength.
+    "noisy-neighbor-episode": {"duration": 36.0, "trace.rate": 30.0,
+                               "faults": (FaultSpec(kind="host_degradation",
+                                                    at=8.0, duration=14.0,
+                                                    params={"host_id": "host-0",
+                                                            "intensity": 2.0}),)},
 }
 
 

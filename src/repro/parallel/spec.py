@@ -50,7 +50,8 @@ MIX_KINDS = ("cloudstone", "write_heavy", "uniform_read")
 
 # Fault kinds the harness's fault-plan installer understands (see
 # :func:`repro.experiments.harness.install_fault_plan`).
-FAULT_KINDS = ("zone_outage", "crash_random", "interruption_storm")
+FAULT_KINDS = ("zone_outage", "crash_random", "interruption_storm",
+               "host_degradation")
 
 
 @dataclass(slots=True)

@@ -202,17 +202,38 @@ class QueueingLatency(LatencyModel):
     The utilisation factor is applied per sample (it changes between draws),
     so pooling lives in the *base* model and the pooled stream stays
     identical to scalar draws from the base distribution.
+
+    A second multiplier, *contention*, models co-tenant interference on a
+    shared physical host (see ``repro.sim.hosts``).  It inflates the base
+    service draw itself — so ``split_service`` decomposition attributes the
+    inflation to the *service* span kind, not queueing — and consumes no
+    randomness, so contention-off runs are byte-identical.  While contention
+    tracking is active the model also maintains an EWMA *service residual*:
+    observed (contended) base service time relative to the base model's
+    analytic mean.  It sits near 1.0 on a quiet host and approaches the
+    contention factor under interference; the per-host health estimator
+    aggregates it to name noisy hosts without peeking at the injected
+    ground-truth factor.
     """
 
     MAX_UTILISATION = 0.99
+    RESIDUAL_ALPHA = 0.05
 
     def __init__(self, base: LatencyModel) -> None:
         self.base = base
         self._utilisation = 0.0
+        self._contention = 1.0
+        self._tracking = False
+        self._residual = 1.0
+        self._base_mean: Optional[float] = None
 
     @property
     def utilisation(self) -> float:
         return self._utilisation
+
+    @property
+    def contention(self) -> float:
+        return self._contention
 
     def set_utilisation(self, rho: float) -> None:
         """Update the utilisation used to inflate subsequent samples."""
@@ -220,28 +241,60 @@ class QueueingLatency(LatencyModel):
             raise ValueError(f"utilisation must be non-negative, got {rho}")
         self._utilisation = float(rho) if rho < self.MAX_UTILISATION else self.MAX_UTILISATION
 
+    def set_contention(self, factor: float) -> None:
+        """Update the co-tenant service inflation factor (>= 1).
+
+        First call arms residual tracking: the contention layer pushes a
+        factor (possibly 1.0) to every placed node each step, so tracking is
+        active exactly in contention-enabled runs and the sample path is
+        untouched otherwise.
+        """
+        if factor < 1.0:
+            raise ValueError(f"contention factor must be >= 1, got {factor}")
+        self._contention = float(factor)
+        if not self._tracking:
+            self._tracking = True
+            self._base_mean = self.base.mean()
+
+    def service_residual(self) -> float:
+        """EWMA of observed base service time over the base model's mean."""
+        return self._residual
+
     def sample(self, rng: np.random.Generator) -> float:
         # Inlined pooled lookup on the base model: this is the per-request
         # service-time path for every storage node.
         base = self.base
         pools = base._pools
         if pools is None:
-            return base.sample(rng) / (1.0 - self._utilisation)
-        pool = pools.get(rng)
-        if pool is None:
-            return base.sample(rng) / (1.0 - self._utilisation)
-        block, index = pool
-        if index >= block.shape[0]:
-            block = pool[0] = base._draw_block(rng, base.POOL_BLOCK)
-            index = 0
-        pool[1] = index + 1
-        return float(block[index]) / (1.0 - self._utilisation)
+            service = base.sample(rng) * self._contention
+        else:
+            pool = pools.get(rng)
+            if pool is None:
+                service = base.sample(rng) * self._contention
+            else:
+                block, index = pool
+                if index >= block.shape[0]:
+                    block = pool[0] = base._draw_block(rng, base.POOL_BLOCK)
+                    index = 0
+                pool[1] = index + 1
+                service = float(block[index]) * self._contention
+        if self._tracking:
+            self._residual += self.RESIDUAL_ALPHA * (
+                service / self._base_mean - self._residual)
+        return service / (1.0 - self._utilisation)
 
     def sample_many(self, rng: np.random.Generator, count: int) -> np.ndarray:
-        return self.base.sample_many(rng, count) / (1.0 - self._utilisation)
+        services = self.base.sample_many(rng, count) * self._contention
+        if self._tracking and count > 0:
+            # One EWMA step per sample, compounded: the block mean observed
+            # with weight 1 - (1 - alpha)^count.
+            weight = 1.0 - (1.0 - self.RESIDUAL_ALPHA) ** count
+            self._residual += weight * (
+                float(services.mean()) / self._base_mean - self._residual)
+        return services / (1.0 - self._utilisation)
 
     def mean(self) -> float:
-        return self.base.mean() / (1.0 - self._utilisation)
+        return self.base.mean() * self._contention / (1.0 - self._utilisation)
 
 
 def percentile_of(model: LatencyModel, rng: np.random.Generator,

@@ -92,6 +92,11 @@ class Cluster:
         partitioner_kind: ``"hash"`` (consistent hashing, default) or ``"range"``.
         movement_rate_keys_per_sec: how fast data movement proceeds; used to
             account a rebalance duration so scale-up is not instantaneous.
+        host_map: optional :class:`repro.sim.hosts.HostMap`.  When present,
+            every node is placed on a shared physical host with replica-group
+            anti-affinity (no group ever holds read/write quorum on one
+            host); when None, placement is a no-op and behaviour is
+            byte-identical to a host-unaware cluster.
     """
 
     MIGRATION_COMPLETION_RETRY = 5.0
@@ -105,6 +110,7 @@ class Cluster:
         node_base_latency: float = 0.004,
         partitioner_kind: str = "hash",
         movement_rate_keys_per_sec: float = 50_000.0,
+        host_map=None,
     ) -> None:
         if replication_factor < 1:
             raise ValueError(f"replication factor must be >= 1, got {replication_factor}")
@@ -115,6 +121,7 @@ class Cluster:
         self.node_capacity_ops = node_capacity_ops
         self.node_base_latency = node_base_latency
         self.movement_rate_keys_per_sec = movement_rate_keys_per_sec
+        self.host_map = host_map
         self.network = NetworkModel(simulator.random.get("network"))
         self.nodes: Dict[str, StorageNode] = {}
         self.groups: Dict[str, ReplicaGroup] = {}
@@ -134,6 +141,11 @@ class Cluster:
         # The node object keeps its data but leaves ``nodes``/its group, so
         # replication and routing forget it until it resumes.
         self._hibernated: Dict[str, Tuple[str, StorageNode]] = {}
+        # Hosts placement must avoid until the recorded time: an evacuated
+        # host has no nodes left to report residuals, so the quarantine is
+        # what stops the next rent from landing on it while it is still
+        # degraded (host_id -> lift time).
+        self._quarantined_hosts: Dict[str, float] = {}
 
         if partitioner_kind == "hash":
             self.partitioner: Partitioner = ConsistentHashPartitioner()
@@ -164,6 +176,150 @@ class Cluster:
     def _new_node_id(self, group_id: str) -> str:
         return f"node-{next(self._node_counter)}@{group_id}"
 
+    # --------------------------------------------------------------- placement
+
+    def _anti_affinity_cap(self) -> int:
+        """Max members of one replica group allowed on a single host.
+
+        One less than the majority quorum, so losing (or suffering contention
+        on) any single host never takes a group's quorum with it.  Floored at
+        1 so rf=1 groups remain placeable.
+        """
+        quorum = self.replication_factor // 2 + 1
+        return max(1, quorum - 1)
+
+    def _place_node(self, node_id: str, sibling_node_ids,
+                    extra_avoid=()) -> Optional[str]:
+        """Assign ``node_id`` to a host, avoiding anti-affinity violations.
+
+        Hosts already holding the cap's worth of this group's members are
+        avoided, as are ``extra_avoid`` hosts (e.g. the noisy host an
+        evacuation is fleeing).  No-op when the cluster has no host map.
+        """
+        if self.host_map is None:
+            return None
+        avoid = set(extra_avoid)
+        avoid.update(self.quarantined_hosts())
+        cap = self._anti_affinity_cap()
+        counts: Dict[str, int] = {}
+        for sibling in sibling_node_ids:
+            if sibling == node_id:
+                continue
+            host = self.host_map.host_of(sibling)
+            if host is not None:
+                counts[host] = counts.get(host, 0) + 1
+        avoid.update(host for host, count in counts.items() if count >= cap)
+        return self.host_map.assign(node_id, avoid=avoid)
+
+    def _release_placement(self, node_id: str) -> None:
+        if self.host_map is not None:
+            self.host_map.release(node_id)
+
+    def quarantine_host(self, host_id: str, until: float) -> None:
+        """Bar new placements on ``host_id`` until simulated time ``until``."""
+        current = self._quarantined_hosts.get(host_id, float("-inf"))
+        self._quarantined_hosts[host_id] = max(current, float(until))
+
+    def quarantined_hosts(self) -> Tuple[str, ...]:
+        """Hosts currently barred from placement (expired holds are pruned)."""
+        now = self.sim.now
+        expired = [h for h, t in self._quarantined_hosts.items() if t <= now]
+        for host in expired:
+            del self._quarantined_hosts[host]
+        return tuple(sorted(self._quarantined_hosts))
+
+    def hosts_of_group(self, group_id: str) -> Dict[str, int]:
+        """Physical-host spread of one group: host id -> member count.
+
+        Empty when the cluster has no host map (placement-unaware runs).
+        """
+        group = self.groups.get(group_id)
+        if group is None:
+            raise KeyError(f"unknown replica group {group_id!r}")
+        spread: Dict[str, int] = {}
+        if self.host_map is None:
+            return spread
+        for node_id in group.node_ids:
+            host = self.host_map.host_of(node_id)
+            if host is not None:
+                spread[host] = spread.get(host, 0) + 1
+        return spread
+
+    def anti_affinity_violations(self) -> List[Tuple[str, str, int]]:
+        """Replica groups with quorum concentrated on one host.
+
+        Returns ``(group_id, host_id, members_on_host)`` for every group
+        whose member count on a single host reaches the majority quorum —
+        the invariant the placement path maintains and the audit the
+        zone-outage and contention tests assert stays empty.
+        """
+        violations: List[Tuple[str, str, int]] = []
+        if self.host_map is None:
+            return violations
+        quorum = self.replication_factor // 2 + 1
+        for group_id in self.groups:
+            for host, count in self.hosts_of_group(group_id).items():
+                if count >= quorum and len(self.groups[group_id].node_ids) > 1:
+                    violations.append((group_id, host, count))
+        return violations
+
+    def replace_replica(self, node_id: str, avoid_hosts=()) -> Optional[str]:
+        """Live-migrate one replica onto a fresh node placed off ``avoid_hosts``.
+
+        The replacement is seeded with the group primary's data (the noisy
+        original as fallback when the primary is down), spliced into the
+        group — keeping primaryship if the departing node held it — and the
+        original is decommissioned and its host slot released.  Returns the
+        replacement node id, or None when ``node_id`` is not a group member.
+        """
+        group = self._owning_group(node_id)
+        old = self.nodes.get(node_id)
+        if group is None or old is None:
+            return None
+        new_id = self._new_node_id(group.group_id)
+        node = StorageNode(
+            node_id=new_id,
+            rng=self.sim.random.get(f"node:{new_id}"),
+            capacity_ops_per_sec=self.node_capacity_ops,
+            base_median_latency=self.node_base_latency,
+        )
+        source = self.nodes.get(group.primary)
+        if source is None or not source.alive:
+            source = old
+        copied = 0
+        for namespace in source.namespaces():
+            for key, value in source.scan_namespace(namespace):
+                node.apply_replica_write(namespace, key, value)
+                copied += 1
+        self.nodes[new_id] = node
+        self._place_node(new_id, group.node_ids, extra_avoid=avoid_hosts)
+        was_primary = group.node_ids[0] == node_id
+        rest = [nid for nid in group.node_ids if nid != node_id]
+        # New list object, never in-place mutation: the router's rotation
+        # cache invalidates on list identity.
+        group.node_ids = [new_id] + rest if was_primary else rest + [new_id]
+        self._keys_moved_total += copied
+        self._release_placement(node_id)
+        old.wipe()
+        del self.nodes[node_id]
+        return new_id
+
+    def evacuate_host(self, host_id: str) -> List[Tuple[str, str]]:
+        """Move every replica off ``host_id``; returns (old_id, new_id) pairs.
+
+        Replacement nodes are placed with the evacuated host in their avoid
+        set on top of the usual anti-affinity, so the contention remediation
+        path can never bounce a replica back onto the noisy host.
+        """
+        if self.host_map is None:
+            return []
+        moves: List[Tuple[str, str]] = []
+        for node_id in self.host_map.nodes_on(host_id):
+            new_id = self.replace_replica(node_id, avoid_hosts=(host_id,))
+            if new_id is not None:
+                moves.append((node_id, new_id))
+        return moves
+
     # ----------------------------------------------------------------- scaling
 
     def add_replica_group(self) -> ReplicaGroup:
@@ -180,6 +336,7 @@ class Cluster:
             )
             self.nodes[node_id] = node
             node_ids.append(node_id)
+            self._place_node(node_id, node_ids)
         group = ReplicaGroup(group_id=group_id, node_ids=node_ids)
         self.groups[group_id] = group
         if isinstance(self.partitioner, RangePartitioner) and group_id == "group-0":
@@ -223,6 +380,7 @@ class Cluster:
                 for key, value in primary.scan_namespace(namespace):
                     node.apply_replica_write(namespace, key, value)
         self.nodes[node_id] = node
+        self._place_node(node_id, group.node_ids)
         # New list object, never in-place append: the router's rotation
         # cache invalidates on list identity.
         group.node_ids = group.node_ids + [node_id]
@@ -268,6 +426,7 @@ class Cluster:
                     f"cannot detach {node_id!r}: it is the last member of "
                     f"group {group.group_id!r}")
             group.node_ids = [nid for nid in group.node_ids if nid != node_id]
+        self._release_placement(node_id)
         return self.nodes.pop(node_id, None)
 
     def hibernate_node(self, node_id: str) -> bool:
@@ -301,6 +460,7 @@ class Cluster:
         node.recover()
         node.set_draining(False)
         self.nodes[node_id] = node
+        self._place_node(node_id, group.node_ids)
         group.node_ids = group.node_ids + [node_id]
         self.reconcile_node(node_id)
         refreshed = 0
@@ -426,6 +586,7 @@ class Cluster:
                 moved += 1
         self._keys_moved_total += moved
         for node_id in group.node_ids:
+            self._release_placement(node_id)
             self.nodes[node_id].wipe()
             del self.nodes[node_id]
         del self.groups[group_id]

@@ -30,19 +30,27 @@ class FailureInjector:
 
     With a :class:`~repro.cloud.market.SpotMarket` attached,
     :meth:`interruption_storm` injects correlated spot revocations — the
-    capacity-reclaim analogue of :meth:`zone_outage`.
+    capacity-reclaim analogue of :meth:`zone_outage`.  With a
+    :class:`~repro.sim.hosts.ContentionProcess` attached,
+    :meth:`host_degradation` injects scripted noisy-neighbor episodes that
+    inflate colocated nodes' service times.
     """
 
-    def __init__(self, cluster: Cluster, market=None) -> None:
+    def __init__(self, cluster: Cluster, market=None, contention=None) -> None:
         self._cluster = cluster
         self._sim = cluster.sim
         self._faults: List[FaultRecord] = []
         self._failure_rng = cluster.sim.random.get("failure-injector")
         self._market = market
+        self._contention = contention
 
     def attach_market(self, market) -> None:
         """Enable spot-market faults (:meth:`interruption_storm`)."""
         self._market = market
+
+    def attach_contention(self, contention) -> None:
+        """Enable noisy-neighbor faults (:meth:`host_degradation`)."""
+        self._contention = contention
 
     # ------------------------------------------------------------------ crashes
 
@@ -132,6 +140,34 @@ class FailureInjector:
                              start=at, end=at + duration)
         self._faults.append(record)
         self._market.interruption_storm(at, duration)
+        return record
+
+    def host_degradation(self, at: float, duration: float,
+                         intensity: float = 4.0,
+                         host_id: str = "host-0") -> FaultRecord:
+        """A noisy-neighbor episode: co-tenants degrade one physical host.
+
+        Every node colocated on ``host_id`` serves ``intensity``-times-slower
+        base service times from ``at`` until ``at + duration`` — correlated
+        interference, not i.i.d. noise, and *service*-side rather than
+        queueing, which is what the monitor's contention-vs-capacity
+        diagnosis keys on.  The episode is forced onto the contention
+        process's schedule (consuming no randomness, like
+        :meth:`interruption_storm`'s forced storms) and bookkept with the
+        host id and intensity in the fault history.  Requires an attached
+        :class:`~repro.sim.hosts.ContentionProcess`
+        (``Scads(contention=...)``).
+        """
+        if self._contention is None:
+            raise RuntimeError(
+                "host_degradation needs an attached contention process "
+                "(construct the engine with contention=... )")
+        record = FaultRecord(
+            kind="host-degradation",
+            target=f"{host_id} x{intensity:g}",
+            start=at, end=at + duration)
+        self._faults.append(record)
+        self._contention.force_episode(host_id, at, duration, intensity)
         return record
 
     def zone_outage(self, at: float, duration: float,

@@ -238,6 +238,23 @@ class StorageNode:
             self._latency.set_utilisation(self.arrival_rate() / self.capacity_ops_per_sec)
             self._stats.utilisation = self._latency.utilisation
 
+    def set_contention(self, factor: float) -> None:
+        """Apply a co-tenant service inflation factor (see ``repro.sim.hosts``)."""
+        self._latency.set_contention(factor)
+
+    def contention(self) -> float:
+        """Current co-tenant service inflation factor (1.0 = quiet host)."""
+        return self._latency.contention
+
+    def service_residual(self) -> float:
+        """EWMA of observed base service time over the model's analytic mean.
+
+        Near 1.0 on a quiet host, approaches the contention factor under
+        interference; the per-host health estimator averages it across a
+        host's colocated nodes to name noisy hosts.
+        """
+        return self._latency.service_residual()
+
     def service_time(self) -> float:
         """Sample a service time at the node's current utilisation."""
         return self._latency.sample(self._rng)
